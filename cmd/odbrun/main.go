@@ -1,0 +1,54 @@
+// Command odbrun executes one OLTP configuration on the simulated
+// platform and prints its metrics, iron-law decomposition and CPI
+// breakdown.
+//
+// Usage:
+//
+//	odbrun [-w warehouses] [-c clients] [-p processors] [-seed n]
+//	       [-machine xeon|itanium2] [-txns n] [-nocoherence]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"odbscale/internal/system"
+)
+
+func main() {
+	w := flag.Int("w", 100, "warehouses")
+	c := flag.Int("c", 16, "concurrent clients")
+	p := flag.Int("p", 4, "processors")
+	seed := flag.Int64("seed", 1, "random seed")
+	machine := flag.String("machine", "xeon", "platform: xeon or itanium2")
+	txns := flag.Int("txns", 2400, "measured transactions")
+	nocoh := flag.Bool("nocoherence", false, "disable MESI coherence")
+	flag.Parse()
+
+	cfg := system.DefaultConfig(*w, *c, *p)
+	cfg.Seed = *seed
+	cfg.MeasureTxns = *txns
+	cfg.Coherent = !*nocoh
+	switch *machine {
+	case "xeon":
+	case "itanium2":
+		cfg.Machine = system.Itanium2Quad()
+	default:
+		log.Fatalf("unknown machine %q", *machine)
+	}
+
+	m, err := system.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m)
+	fmt.Printf("  user: IPX=%.2fM CPI=%.2f MPI=%.4f\n", m.UserIPX/1e6, m.UserCPI, m.UserMPI)
+	fmt.Printf("  os:   IPX=%.2fM CPI=%.2f MPI=%.4f share=%.2f\n", m.OSIPX/1e6, m.OSCPI, m.OSMPI, m.OSShare)
+	fmt.Printf("  io:   read=%.1fKB write=%.1fKB log=%.1fKB hit=%.3f diskUtil=%.2f lat=%.1fms\n",
+		m.ReadKBPerTxn, m.WriteKBPerTxn, m.LogKBPerTxn, m.BufferHitRatio, m.DiskUtil, m.ReadLatencyMS)
+	fmt.Printf("  bus:  time=%.0f util=%.2f coherShare=%.4f\n", m.BusTime, m.BusUtil, m.CoherenceShare)
+	fmt.Printf("  cpi breakdown: %s\n", m.Breakdown)
+	fmt.Printf("  iron law check: P*F/(IPX*CPI)*util = %.0f TPS (measured %.0f)\n",
+		float64(m.Processors)*cfg.Machine.FreqHz/(m.IPX*m.CPI)*m.CPUUtil, m.TPS)
+}

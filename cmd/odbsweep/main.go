@@ -1,0 +1,69 @@
+// Command odbsweep runs a warehouse sweep for one or more processor
+// counts and prints a metrics table per configuration — the raw data
+// behind the paper's Figures 2-16. With -csv it emits machine-readable
+// output instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"odbscale/internal/system"
+)
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			log.Fatalf("bad integer list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	ws := flag.String("w", "10,25,50,100,200,300,500,800", "warehouse counts")
+	ps := flag.String("p", "4", "processor counts")
+	clients := flag.Int("c", 0, "fixed client count (0 = heuristic per config)")
+	txns := flag.Int("txns", 2400, "measured transactions")
+	seed := flag.Int64("seed", 1, "random seed")
+	machine := flag.String("machine", "xeon", "platform: xeon or itanium2")
+	csv := flag.Bool("csv", false, "CSV output")
+	flag.Parse()
+
+	if *csv {
+		fmt.Println("w,p,c,tps,ipx,useripx,osipx,cpi,usercpi,oscpi,mpi,usermpi,osmpi,util,osshare,readkb,writekb,logkb,ctxsw,bustime,busutil,cohershare,bufferhit,diskutil")
+	}
+	for _, p := range parseInts(*ps) {
+		for _, w := range parseInts(*ws) {
+			c := *clients
+			if c == 0 {
+				c = system.HeuristicClients(w, p)
+			}
+			cfg := system.DefaultConfig(w, c, p)
+			cfg.Seed = *seed
+			cfg.MeasureTxns = *txns
+			if *machine == "itanium2" {
+				cfg.Machine = system.Itanium2Quad()
+			}
+			m, err := system.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *csv {
+				fmt.Printf("%d,%d,%d,%.1f,%.0f,%.0f,%.0f,%.3f,%.3f,%.3f,%.5f,%.5f,%.5f,%.3f,%.3f,%.2f,%.2f,%.2f,%.2f,%.1f,%.3f,%.4f,%.4f,%.3f\n",
+					m.Warehouses, m.Processors, m.Clients, m.TPS, m.IPX, m.UserIPX, m.OSIPX,
+					m.CPI, m.UserCPI, m.OSCPI, m.MPI, m.UserMPI, m.OSMPI, m.CPUUtil, m.OSShare,
+					m.ReadKBPerTxn, m.WriteKBPerTxn, m.LogKBPerTxn, m.CtxSwitchPerTxn,
+					m.BusTime, m.BusUtil, m.CoherenceShare, m.BufferHitRatio, m.DiskUtil)
+			} else {
+				fmt.Println(m)
+			}
+		}
+	}
+}

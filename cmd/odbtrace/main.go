@@ -1,0 +1,85 @@
+// Command odbtrace captures the simulated memory-reference trace of one
+// OLTP configuration and replays it against a sweep of L3 capacities —
+// the trace-driven cache-study workflow of the memory-system literature
+// the paper builds on. Capture once, sweep offline.
+//
+//	odbtrace -w 200 -c 44 -p 4 -o /tmp/odb.trace
+//	odbtrace -replay /tmp/odb.trace -l3 1,2,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"odbscale/internal/cache"
+	"odbscale/internal/system"
+	"odbscale/internal/trace"
+	"odbscale/internal/workload"
+)
+
+func main() {
+	w := flag.Int("w", 200, "warehouses")
+	c := flag.Int("c", 0, "clients (0 = heuristic)")
+	p := flag.Int("p", 4, "processors")
+	txns := flag.Int("txns", 1500, "measured transactions")
+	out := flag.String("o", "odb.trace", "trace output file")
+	replay := flag.String("replay", "", "replay an existing trace instead of capturing")
+	l3s := flag.String("l3", "1,2,4,8", "L3 capacities (MB) for the replay sweep")
+	flag.Parse()
+
+	if *replay != "" {
+		replaySweep(*replay, *l3s, *p)
+		return
+	}
+
+	clients := *c
+	if clients == 0 {
+		clients = system.HeuristicClients(*w, *p)
+	}
+	cfg := system.DefaultConfig(*w, clients, *p)
+	cfg.MeasureTxns = *txns
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	m, refs, err := system.RunTraced(cfg, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured %d references over %d transactions to %s\n", refs, m.Txns, *out)
+	fmt.Printf("exact measurement: MPI=%.5f CPI=%.3f\n", m.MPI, m.CPI)
+	fmt.Printf("replay with: odbtrace -replay %s -p %d\n", *out, *p)
+}
+
+func replaySweep(path, l3list string, p int) {
+	scale := system.DefaultTuning().Scale
+	for _, field := range strings.Split(l3list, ",") {
+		mb, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			log.Fatalf("bad L3 size %q: %v", field, err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		geo := cache.XeonGeometry(1)
+		geo.L3Size = mb << 20
+		geo = workload.ScaledGeometry(geo, scale)
+		stats, err := trace.Replay(r, cache.NewDomain(geo, p, true))
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("L3=%dMB refs=%d L3miss=%d ratio=%.4f coher=%d writebacks=%d\n",
+			mb, stats.Refs, stats.L3Misses, stats.L3MissRatio(), stats.CoherMiss, stats.Writebacks)
+	}
+}

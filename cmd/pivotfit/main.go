@@ -1,0 +1,82 @@
+// Command pivotfit fits the paper's two-region piecewise-linear model to
+// a CSV of (warehouses, value) pairs read from a file or stdin and
+// reports the cached/scaled lines and the pivot point.
+//
+// Input format: one "warehouses,value" pair per line; lines starting
+// with '#' and a header line are ignored.
+//
+//	odbsweep -p 4 -csv | cut -d, -f1,8 | pivotfit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"odbscale/internal/model"
+)
+
+func main() {
+	file := flag.String("f", "-", "input file ('-' for stdin)")
+	extrapolate := flag.Float64("x", 0, "also predict the metric at this warehouse count")
+	flag.Parse()
+
+	in := os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	type pt struct{ x, y float64 }
+	var pts []pt
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 2 {
+			log.Fatalf("bad line %q", line)
+		}
+		x, errX := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		y, errY := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if errX != nil || errY != nil {
+			continue // header line
+		}
+		pts = append(pts, pt{x, y})
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(pts) < 4 {
+		log.Fatalf("need at least 4 points, got %d", len(pts))
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p.x, p.y
+	}
+
+	fit, err := model.FitPiecewise(xs, ys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cached region: %s\n", fit.Cached)
+	fmt.Printf("scaled region: %s\n", fit.Scaled)
+	fmt.Printf("pivot point:   %.1f warehouses\n", fit.Pivot)
+	fmt.Printf("fit SSE:       %.6g\n", fit.SSE)
+	if *extrapolate > 0 {
+		fmt.Printf("extrapolation: metric(%.0fW) = %.6g\n", *extrapolate, fit.Extrapolate(*extrapolate))
+	}
+}

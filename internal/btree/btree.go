@@ -1,0 +1,255 @@
+// Package btree implements an operational B+tree: an ordered uint64 →
+// uint64 index with node splits, a linked leaf level and range scans.
+//
+// The simulation models indices geometrically (internal/odb's Btree
+// computes which blocks a lookup touches from cardinality and fanout);
+// this package is the operational counterpart — a real tree with the
+// same shape parameters. The cross-validation test asserts that the
+// geometric model's height and leaf counts match what an actual tree
+// built with the same fanout produces, grounding the simulated access
+// paths in a working structure.
+package btree
+
+import "fmt"
+
+// Tree is a B+tree. Interior nodes hold separator keys and children;
+// leaves hold key/value pairs and are chained for range scans. The zero
+// value is not usable; call New.
+type Tree struct {
+	degree int // max children per interior node; max pairs per leaf
+	root   *node
+	first  *node // leftmost leaf
+	size   int
+	height int
+}
+
+type node struct {
+	leaf bool
+	keys []uint64
+	vals []uint64 // leaves only
+	kids []*node  // interior only
+	next *node    // leaf chain
+}
+
+// New returns an empty tree with the given degree (≥ 3).
+func New(degree int) *Tree {
+	if degree < 3 {
+		panic(fmt.Sprintf("btree: degree %d < 3", degree))
+	}
+	leaf := &node{leaf: true}
+	return &Tree{degree: degree, root: leaf, first: leaf, height: 1}
+}
+
+// Len returns the number of stored pairs.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels including the leaf level.
+func (t *Tree) Height() int { return t.height }
+
+// findChild returns the index of the child of n that covers key k.
+func findChild(n *node, k uint64) int {
+	i := 0
+	for i < len(n.keys) && k >= n.keys[i] {
+		i++
+	}
+	return i
+}
+
+// findLeafSlot returns the position of k in leaf n, and whether present.
+func findLeafSlot(n *node, k uint64) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && n.keys[lo] == k
+}
+
+// Get returns the value stored under k.
+func (t *Tree) Get(k uint64) (uint64, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.kids[findChild(n, k)]
+	}
+	if i, ok := findLeafSlot(n, k); ok {
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+// Insert stores v under k, returning true if an existing value was
+// replaced.
+func (t *Tree) Insert(k, v uint64) bool {
+	replaced, splitKey, sibling := t.insert(t.root, k, v)
+	if sibling != nil {
+		newRoot := &node{keys: []uint64{splitKey}, kids: []*node{t.root, sibling}}
+		t.root = newRoot
+		t.height++
+	}
+	if !replaced {
+		t.size++
+	}
+	return replaced
+}
+
+// insert descends, splitting on the way back up. It returns whether the
+// key existed, and, when the child overflowed, the separator key and new
+// right sibling to install in the parent.
+func (t *Tree) insert(n *node, k, v uint64) (replaced bool, splitKey uint64, sibling *node) {
+	if n.leaf {
+		i, ok := findLeafSlot(n, k)
+		if ok {
+			n.vals[i] = v
+			return true, 0, nil
+		}
+		n.keys = append(n.keys, 0)
+		n.vals = append(n.vals, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = k
+		n.vals[i] = v
+		if len(n.keys) <= t.degree {
+			return false, 0, nil
+		}
+		// Split the leaf.
+		mid := len(n.keys) / 2
+		right := &node{leaf: true,
+			keys: append([]uint64(nil), n.keys[mid:]...),
+			vals: append([]uint64(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		n.next = right
+		return false, right.keys[0], right
+	}
+
+	ci := findChild(n, k)
+	replaced, sk, sib := t.insert(n.kids[ci], k, v)
+	if sib == nil {
+		return replaced, 0, nil
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = sk
+	n.kids = append(n.kids, nil)
+	copy(n.kids[ci+2:], n.kids[ci+1:])
+	n.kids[ci+1] = sib
+	if len(n.kids) <= t.degree {
+		return replaced, 0, nil
+	}
+	// Split the interior node: the middle key moves up.
+	midKey := len(n.keys) / 2
+	up := n.keys[midKey]
+	right := &node{
+		keys: append([]uint64(nil), n.keys[midKey+1:]...),
+		kids: append([]*node(nil), n.kids[midKey+1:]...),
+	}
+	n.keys = n.keys[:midKey:midKey]
+	n.kids = n.kids[: midKey+1 : midKey+1]
+	return replaced, up, right
+}
+
+// Range calls fn for every pair with lo <= key <= hi in ascending order,
+// stopping early if fn returns false.
+func (t *Tree) Range(lo, hi uint64, fn func(k, v uint64) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.kids[findChild(n, lo)]
+	}
+	i, _ := findLeafSlot(n, lo)
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if n.keys[i] > hi {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// Leaves returns the number of leaf nodes (the operational analogue of
+// the geometric model's leaf-block count).
+func (t *Tree) Leaves() int {
+	n := 0
+	for l := t.first; l != nil; l = l.next {
+		n++
+	}
+	return n
+}
+
+// Validate checks the structural invariants: key ordering within and
+// across nodes, uniform leaf depth, separator correctness and the leaf
+// chain covering exactly the tree's pairs. It returns the first
+// violation found.
+func (t *Tree) Validate() error {
+	depth := -1
+	var walk func(n *node, d int, min, max uint64) error
+	walk = func(n *node, d int, min, max uint64) error {
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] >= n.keys[i] {
+				return fmt.Errorf("btree: unordered keys at depth %d", d)
+			}
+		}
+		if len(n.keys) > 0 {
+			if n.keys[0] < min || n.keys[len(n.keys)-1] > max {
+				return fmt.Errorf("btree: key outside separator range at depth %d", d)
+			}
+		}
+		if n.leaf {
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return fmt.Errorf("btree: leaves at depths %d and %d", depth, d)
+			}
+			if len(n.keys) != len(n.vals) {
+				return fmt.Errorf("btree: leaf keys/vals mismatch")
+			}
+			return nil
+		}
+		if len(n.kids) != len(n.keys)+1 {
+			return fmt.Errorf("btree: interior with %d keys, %d kids", len(n.keys), len(n.kids))
+		}
+		for i, kid := range n.kids {
+			lo, hi := min, max
+			if i > 0 {
+				lo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				hi = n.keys[i] - 1
+			}
+			if err := walk(kid, d+1, lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, 0, ^uint64(0)); err != nil {
+		return err
+	}
+	// The leaf chain must enumerate exactly size ascending keys.
+	count := 0
+	last := uint64(0)
+	started := false
+	for l := t.first; l != nil; l = l.next {
+		for _, k := range l.keys {
+			if started && k <= last {
+				return fmt.Errorf("btree: leaf chain out of order at %d", k)
+			}
+			last, started = k, true
+			count++
+		}
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: chain has %d keys, size is %d", count, t.size)
+	}
+	return nil
+}

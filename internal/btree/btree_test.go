@@ -1,0 +1,209 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"odbscale/internal/odb"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New(4)
+	if tr.Len() != 0 || tr.Height() != 1 || tr.Leaves() != 1 {
+		t.Fatalf("empty tree: len=%d h=%d leaves=%d", tr.Len(), tr.Height(), tr.Leaves())
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("Get on empty tree succeeded")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := New(4)
+	for i := uint64(0); i < 1000; i++ {
+		if tr.Insert(i*7%1000, i) {
+			t.Fatalf("fresh key %d reported replaced", i*7%1000)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		k := i * 7 % 1000
+		v, ok := tr.Get(k)
+		if !ok || v*7%1000 != k {
+			t.Fatalf("Get(%d) = %d, %v", k, v, ok)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplace(t *testing.T) {
+	tr := New(4)
+	tr.Insert(42, 1)
+	if !tr.Insert(42, 2) {
+		t.Fatal("overwrite not reported")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite", tr.Len())
+	}
+	if v, _ := tr.Get(42); v != 2 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestSequentialAndReverse(t *testing.T) {
+	for name, gen := range map[string]func(i int) uint64{
+		"ascending":  func(i int) uint64 { return uint64(i) },
+		"descending": func(i int) uint64 { return uint64(10000 - i) },
+	} {
+		tr := New(8)
+		for i := 0; i < 10000; i++ {
+			tr.Insert(gen(i), uint64(i))
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Len() != 10000 {
+			t.Fatalf("%s: Len = %d", name, tr.Len())
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := New(5)
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i*2, i) // even keys 0..198
+	}
+	var got []uint64
+	tr.Range(11, 29, func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{12, 14, 16, 18, 20, 22, 24, 26, 28}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.Range(0, 198, func(k, v uint64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// Empty range.
+	tr.Range(13, 13, func(k, v uint64) bool {
+		t.Fatalf("empty range visited %d", k)
+		return false
+	})
+}
+
+// Property: after any random insert sequence, the tree matches a map and
+// validates structurally; range scans enumerate sorted keys.
+func TestAgainstMapQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		degree := 3 + rng.Intn(14)
+		tr := New(degree)
+		ref := map[uint64]uint64{}
+		for i := 0; i < 3000; i++ {
+			k := uint64(rng.Intn(700))
+			v := uint64(rng.Intn(1 << 30))
+			wantReplace := func() bool { _, ok := ref[k]; return ok }()
+			if tr.Insert(k, v) != wantReplace {
+				return false
+			}
+			ref[k] = v
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		for k, v := range ref {
+			if got, ok := tr.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		var keys []uint64
+		tr.Range(0, ^uint64(0), func(k, v uint64) bool {
+			keys = append(keys, k)
+			return true
+		})
+		return len(keys) == len(ref) && sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(2)
+}
+
+// TestGeometricModelAgreement cross-validates the simulation's geometric
+// index model against this operational tree: for the same entry count
+// and shape parameters, the geometric model's height and leaf count must
+// match the real structure within split-policy slack (real splits leave
+// nodes half-full, so the operational tree uses up to 2x the minimal
+// node count at the same height or one extra level).
+func TestGeometricModelAgreement(t *testing.T) {
+	for _, entries := range []uint64{1000, 30_000, 300_000} {
+		const leafCap = 128
+		geo := odb.NewBtree("x", entries, leafCap, leafCap)
+
+		tr := New(leafCap)
+		rng := rand.New(rand.NewSource(7))
+		perm := rng.Perm(int(entries))
+		for _, k := range perm {
+			tr.Insert(uint64(k), 1)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if h := tr.Height(); h != geo.Height() && h != geo.Height()+1 {
+			t.Fatalf("entries=%d: operational height %d vs geometric %d", entries, h, geo.Height())
+		}
+		minLeaves := (int(entries) + leafCap - 1) / leafCap
+		if l := tr.Leaves(); l < minLeaves || l > 2*minLeaves+1 {
+			t.Fatalf("entries=%d: %d leaves outside [%d, %d]", entries, l, minLeaves, 2*minLeaves+1)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New(128)
+	for i := 0; i < b.N; i++ {
+		tr.Insert(uint64(i*2654435761), uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New(128)
+	for i := 0; i < 1_000_000; i++ {
+		tr.Insert(uint64(i), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i % 1_000_000))
+	}
+}

@@ -1,0 +1,300 @@
+package buffercache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTest(blocks int) *Cache {
+	return New(Config{Blocks: blocks})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := newTest(4)
+	if e := c.Lookup(1); e != nil {
+		t.Fatal("cold lookup hit")
+	}
+	e, ev := c.Install(1)
+	if ev != nil {
+		t.Fatalf("eviction on non-full cache: %+v", ev)
+	}
+	c.Release(e)
+	e = c.Lookup(1)
+	if e == nil {
+		t.Fatal("lookup after install missed")
+	}
+	c.Release(e)
+	s := c.Stats()
+	if s.Gets != 2 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newTest(2)
+	a, _ := c.Install(1)
+	c.Release(a)
+	b, _ := c.Install(2)
+	c.Release(b)
+	// Touch 1 so 2 is LRU.
+	e := c.Lookup(1)
+	c.Release(e)
+	_, ev := c.Install(3)
+	if ev == nil || ev.ID != 2 {
+		t.Fatalf("evicted %+v, want block 2", ev)
+	}
+}
+
+func TestPinnedBlocksSkipped(t *testing.T) {
+	c := newTest(2)
+	pinned, _ := c.Install(1) // keep pinned
+	b, _ := c.Install(2)
+	c.Release(b)
+	_, ev := c.Install(3)
+	if ev == nil || ev.ID != 2 {
+		t.Fatalf("evicted %+v, want unpinned block 2", ev)
+	}
+	c.Release(pinned)
+}
+
+func TestAllPinnedPanics(t *testing.T) {
+	c := newTest(1)
+	c.Install(1) // stays pinned
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic when all blocks pinned")
+		}
+	}()
+	c.Install(2)
+}
+
+func TestDoubleInstallPanics(t *testing.T) {
+	c := newTest(2)
+	e, _ := c.Install(1)
+	c.Release(e)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on double install")
+		}
+	}()
+	c.Install(1)
+}
+
+func TestDirtyEvictionCountsWriteback(t *testing.T) {
+	c := newTest(1)
+	e, _ := c.Install(1)
+	c.MarkDirty(e)
+	c.Release(e)
+	_, ev := c.Install(2)
+	if ev == nil || !ev.Dirty {
+		t.Fatalf("eviction = %+v, want dirty", ev)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestCleanBatchOldestFirst(t *testing.T) {
+	c := newTest(4)
+	for id := BlockID(1); id <= 3; id++ {
+		e, _ := c.Install(id)
+		c.MarkDirty(e)
+		c.Release(e)
+	}
+	if c.DirtyCount() != 3 {
+		t.Fatalf("DirtyCount = %d", c.DirtyCount())
+	}
+	batch := c.CleanBatch(2)
+	if len(batch) != 2 || batch[0] != 1 || batch[1] != 2 {
+		t.Fatalf("batch = %v, want oldest first [1 2]", batch)
+	}
+	if c.DirtyCount() != 1 {
+		t.Fatalf("DirtyCount after clean = %d", c.DirtyCount())
+	}
+	// Cleaned blocks remain resident.
+	if e := c.Lookup(1); e == nil || e.Dirty() {
+		t.Fatal("cleaned block evicted or still dirty")
+	}
+}
+
+func TestCleanBatchSkipsPinned(t *testing.T) {
+	c := newTest(4)
+	e, _ := c.Install(1)
+	c.MarkDirty(e) // still pinned
+	batch := c.CleanBatch(10)
+	if len(batch) != 0 {
+		t.Fatalf("pinned dirty block cleaned: %v", batch)
+	}
+	c.Release(e)
+	if batch = c.CleanBatch(10); len(batch) != 1 {
+		t.Fatalf("batch after release = %v", batch)
+	}
+}
+
+func TestMarkDirtyIdempotent(t *testing.T) {
+	c := newTest(2)
+	e, _ := c.Install(1)
+	c.MarkDirty(e)
+	c.MarkDirty(e)
+	if c.DirtyCount() != 1 {
+		t.Fatalf("DirtyCount = %d", c.DirtyCount())
+	}
+	c.Release(e)
+}
+
+func TestMarkDirtyUnpinnedPanics(t *testing.T) {
+	c := newTest(2)
+	e, _ := c.Install(1)
+	c.Release(e)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	c.MarkDirty(e)
+}
+
+func TestReleaseWithoutPinPanics(t *testing.T) {
+	c := newTest(2)
+	e, _ := c.Install(1)
+	c.Release(e)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	c.Release(e)
+}
+
+func TestPayloadMode(t *testing.T) {
+	c := New(Config{Blocks: 2, BlockSize: 64, Payloads: true})
+	e, _ := c.Install(1)
+	if len(e.Data) != 64 {
+		t.Fatalf("payload size = %d", len(e.Data))
+	}
+	e.Data[0] = 0xAB
+	c.MarkDirty(e)
+	c.Release(e)
+	e = c.Lookup(1)
+	if e.Data[0] != 0xAB {
+		t.Fatal("payload lost")
+	}
+	c.Release(e)
+}
+
+func TestPayloadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for payloads without block size")
+		}
+	}()
+	New(Config{Blocks: 2, Payloads: true})
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestHitRatio(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Fatal("empty ratio nonzero")
+	}
+	s = Stats{Gets: 10, Hits: 7}
+	if s.HitRatio() != 0.7 {
+		t.Fatalf("ratio = %v", s.HitRatio())
+	}
+}
+
+// Property: under random workloads, residency never exceeds capacity,
+// hits+misses = gets, and the dirty count matches a reference count.
+func TestInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := newTest(16)
+		dirtyRef := map[BlockID]bool{}
+		resident := map[BlockID]bool{}
+		for i := 0; i < 3000; i++ {
+			id := BlockID(rng.Intn(64))
+			e := c.Lookup(id)
+			if e == nil {
+				var ev *Evicted
+				e, ev = c.Install(id)
+				resident[id] = true
+				if ev != nil {
+					delete(resident, ev.ID)
+					delete(dirtyRef, ev.ID)
+				}
+			}
+			if rng.Intn(3) == 0 {
+				c.MarkDirty(e)
+				dirtyRef[id] = true
+			}
+			c.Release(e)
+			if rng.Intn(20) == 0 {
+				for _, cleaned := range c.CleanBatch(3) {
+					delete(dirtyRef, cleaned)
+				}
+			}
+		}
+		if c.Len() > c.Capacity() || c.Len() != len(resident) {
+			return false
+		}
+		if c.DirtyCount() != len(dirtyRef) {
+			return false
+		}
+		s := c.Stats()
+		return s.Hits+s.Misses == s.Gets
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a larger cache never has fewer hits on the same trace.
+func TestLargerCacheMoreHitsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trace := make([]BlockID, 2000)
+		for i := range trace {
+			trace[i] = BlockID(rng.Intn(50))
+		}
+		run := func(capacity int) uint64 {
+			c := newTest(capacity)
+			for _, id := range trace {
+				if e := c.Lookup(id); e != nil {
+					c.Release(e)
+				} else {
+					e, _ := c.Install(id)
+					c.Release(e)
+				}
+			}
+			return c.Stats().Hits
+		}
+		return run(32) >= run(8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetStatsPreservesContents(t *testing.T) {
+	c := newTest(2)
+	e, _ := c.Install(1)
+	c.Release(e)
+	c.ResetStats()
+	if c.Stats().Gets != 0 {
+		t.Fatal("stats not reset")
+	}
+	if e := c.Lookup(1); e == nil {
+		t.Fatal("contents lost")
+	} else {
+		c.Release(e)
+	}
+}

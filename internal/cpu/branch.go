@@ -1,0 +1,76 @@
+// Package cpu models the processor core: a gshare branch predictor, a data
+// TLB, and the paper's CPI accounting — the fixed stall costs of Table 3
+// and the component formulas of Table 4 that decompose measured CPI into
+// instruction, branch, TLB, trace-cache, L2, L3 and "other" contributions.
+package cpu
+
+// BranchPredictor is a gselect predictor (Pan/So/Rahmeh): the branch PC
+// concatenated with a short global history indexes a table of 2-bit
+// saturating counters, so each branch site owns a private set of history
+// contexts as long as the table is large enough. The history length is
+// configurable; short histories limit destructive aliasing between
+// unrelated branches.
+type BranchPredictor struct {
+	history  uint64
+	bits     uint
+	histBits uint
+	table    []uint8
+
+	predictions uint64
+	mispredicts uint64
+}
+
+// NewBranchPredictor builds a gshare predictor with 2^bits counters and
+// histBits bits of global history folded into the index.
+func NewBranchPredictor(bits, histBits uint) *BranchPredictor {
+	if bits == 0 || bits > 24 {
+		panic("cpu: branch predictor bits out of range")
+	}
+	if histBits > bits {
+		panic("cpu: history longer than index")
+	}
+	t := make([]uint8, 1<<bits)
+	for i := range t {
+		t[i] = 1 // weakly not-taken
+	}
+	return &BranchPredictor{bits: bits, histBits: histBits, table: t}
+}
+
+// Record feeds one resolved branch (identified by its PC) with its actual
+// outcome and reports whether the predictor had predicted it correctly.
+func (b *BranchPredictor) Record(pc uint64, taken bool) bool {
+	idx := ((pc << b.histBits) | (b.history & ((1 << b.histBits) - 1))) & ((1 << b.bits) - 1)
+	ctr := b.table[idx]
+	predictTaken := ctr >= 2
+	correct := predictTaken == taken
+	if taken && ctr < 3 {
+		b.table[idx] = ctr + 1
+	} else if !taken && ctr > 0 {
+		b.table[idx] = ctr - 1
+	}
+	b.history <<= 1
+	if taken {
+		b.history |= 1
+	}
+	b.predictions++
+	if !correct {
+		b.mispredicts++
+	}
+	return correct
+}
+
+// MispredictRate returns mispredictions per prediction.
+func (b *BranchPredictor) MispredictRate() float64 {
+	if b.predictions == 0 {
+		return 0
+	}
+	return float64(b.mispredicts) / float64(b.predictions)
+}
+
+// Counts returns total predictions and mispredictions.
+func (b *BranchPredictor) Counts() (predictions, mispredicts uint64) {
+	return b.predictions, b.mispredicts
+}
+
+// ResetStats clears the counters, preserving predictor state.
+func (b *BranchPredictor) ResetStats() { b.predictions, b.mispredicts = 0, 0 }

@@ -1,0 +1,92 @@
+package cpu
+
+// TLB is a small set-associative translation lookaside buffer over 4 KB
+// pages with LRU replacement. The Xeon MP's DTLB holds 64 entries.
+type TLB struct {
+	sets  [][]tlbEntry
+	ways  int
+	mask  uint64
+	tick  uint64
+	shift uint
+
+	accesses uint64
+	misses   uint64
+}
+
+type tlbEntry struct {
+	page  uint64
+	valid bool
+	touch uint64
+}
+
+// NewTLB builds a TLB with the given total entries and associativity over
+// pageSize-byte pages. entries/ways must be a power of two.
+func NewTLB(entries, ways, pageSize int) *TLB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("cpu: bad TLB geometry")
+	}
+	nsets := entries / ways
+	if nsets&(nsets-1) != 0 {
+		panic("cpu: TLB set count not a power of two")
+	}
+	shift := uint(0)
+	for 1<<shift < pageSize {
+		shift++
+	}
+	t := &TLB{sets: make([][]tlbEntry, nsets), ways: ways, mask: uint64(nsets - 1), shift: shift}
+	for i := range t.sets {
+		t.sets[i] = make([]tlbEntry, ways)
+	}
+	return t
+}
+
+// Access translates the byte address addr, returning whether it hit.
+func (t *TLB) Access(addr uint64) bool {
+	t.accesses++
+	t.tick++
+	page := addr >> t.shift
+	set := t.sets[page&t.mask]
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			set[i].touch = t.tick
+			return true
+		}
+	}
+	t.misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].touch < set[victim].touch {
+			victim = i
+		}
+	}
+	set[victim] = tlbEntry{page: page, valid: true, touch: t.tick}
+	return false
+}
+
+// Flush empties the TLB, as a context switch to a different address space
+// does on a processor without tagged TLBs.
+func (t *TLB) Flush() {
+	for i := range t.sets {
+		for j := range t.sets[i] {
+			t.sets[i][j].valid = false
+		}
+	}
+}
+
+// MissRate returns misses per access.
+func (t *TLB) MissRate() float64 {
+	if t.accesses == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(t.accesses)
+}
+
+// Counts returns accesses and misses.
+func (t *TLB) Counts() (accesses, misses uint64) { return t.accesses, t.misses }
+
+// ResetStats clears counters without flushing translations.
+func (t *TLB) ResetStats() { t.accesses, t.misses = 0, 0 }

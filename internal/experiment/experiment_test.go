@@ -1,0 +1,186 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastOptions returns a campaign small enough for unit tests.
+func fastOptions() Options {
+	o := Defaults()
+	o.WarmupTxns = 200
+	o.MeasureTxns = 500
+	o.TuneTxns = 300
+	o.MaxClients = 48
+	return o
+}
+
+var testWs = []int{10, 40, 120, 360}
+
+func collect(t *testing.T, o Options, ps []int) *SweepSet {
+	t.Helper()
+	set, err := o.CollectSweeps(testWs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestTuneClientsReachesTarget(t *testing.T) {
+	o := fastOptions()
+	c, err := o.TuneClients(40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < o.MinClients || c > o.MaxClients {
+		t.Fatalf("tuned clients = %d outside [%d, %d]", c, o.MinClients, o.MaxClients)
+	}
+	m, err := o.RunPoint(40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tuning measurement is shorter than the final one, so allow some
+	// slack; a maxed-out client count means the point is I/O bound.
+	if m.CPUUtil < o.TargetUtil-0.10 && m.Clients < o.MaxClients {
+		t.Fatalf("tuned utilization = %v below target with %d clients", m.CPUUtil, m.Clients)
+	}
+}
+
+func TestClientsGrowWithWarehousesAndProcessors(t *testing.T) {
+	// The paper's Table 1 trend: more warehouses (more I/O) and more
+	// processors require more clients to stay above 90% utilization.
+	o := fastOptions()
+	c10p1, err := o.TuneClients(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c360p4, err := o.TuneClients(360, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c360p4 <= c10p1 {
+		t.Fatalf("clients did not grow: 10W/1P=%d vs 360W/4P=%d", c10p1, c360p4)
+	}
+}
+
+func TestSweepOrdering(t *testing.T) {
+	o := fastOptions()
+	o.AutoTune = false
+	ms, err := o.Sweep(testWs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(testWs) {
+		t.Fatalf("sweep returned %d points", len(ms))
+	}
+	for i, m := range ms {
+		if m.Warehouses != testWs[i] || m.Processors != 2 {
+			t.Fatalf("point %d = W%d P%d", i, m.Warehouses, m.Processors)
+		}
+		if m.Txns == 0 {
+			t.Fatalf("point %d measured no transactions", i)
+		}
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	o := fastOptions()
+	o.AutoTune = false
+	a, err := o.Sweep([]int{25}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.Sweep([]int{25}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].TPS != b[0].TPS || a[0].CPI != b[0].CPI {
+		t.Fatalf("same seed produced different results: %v vs %v", a[0], b[0])
+	}
+}
+
+func TestFiguresAssemble(t *testing.T) {
+	o := fastOptions()
+	o.AutoTune = false
+	set := collect(t, o, []int{1, 4})
+
+	t1 := Table1(set)
+	if len(t1.Rows) != len(testWs) || len(t1.Header) != 3 {
+		t.Fatalf("Table 1 shape: %d rows, %d cols", len(t1.Rows), len(t1.Header))
+	}
+
+	f2 := Figure2(set)
+	if len(f2) != 2 || f2[0].Len() != len(testWs) {
+		t.Fatalf("Figure 2 shape: %d series", len(f2))
+	}
+
+	f3 := Figure3(set)
+	if len(f3) != 2 {
+		t.Fatalf("Figure 3 series = %d", len(f3))
+	}
+	for i := range f3[0].Points {
+		total := f3[0].Points[i].Y + f3[1].Points[i].Y
+		if total > 1.001 {
+			t.Fatalf("utilization split exceeds 1: %v", total)
+		}
+	}
+
+	f7 := Figure7(set)
+	if len(f7) != 3 {
+		t.Fatalf("Figure 7 series = %d", len(f7))
+	}
+
+	f12 := Figure12(set)
+	if len(f12.Rows) != len(testWs) {
+		t.Fatalf("Figure 12 rows = %d", len(f12.Rows))
+	}
+
+	out := RenderSeries("Figure 2", f2, 1)
+	if !strings.Contains(out, "Warehouses") || !strings.Contains(out, "TPS 1P") {
+		t.Fatalf("render missing headers:\n%s", out)
+	}
+}
+
+func TestCharacterizeAndTable5(t *testing.T) {
+	o := fastOptions()
+	o.AutoTune = false
+	set := collect(t, o, []int{4})
+	c, err := set.Characterize(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CPI.Pivot() <= 0 || c.CPI.Pivot() > 400 {
+		t.Fatalf("CPI pivot = %v", c.CPI.Pivot())
+	}
+	t5, err := Table5(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) != 1 {
+		t.Fatalf("Table 5 rows = %d", len(t5.Rows))
+	}
+}
+
+func TestFigure19Itanium(t *testing.T) {
+	o := fastOptions()
+	o.AutoTune = false
+	cpi, char, err := Figure19(o, testWs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpi.Len() != len(testWs) {
+		t.Fatalf("series length = %d", cpi.Len())
+	}
+	if char.CPI.Pivot() <= 0 {
+		t.Fatalf("pivot = %v", char.CPI.Pivot())
+	}
+	// The larger L3 keeps small configurations cheap: CPI at the smallest
+	// point must undercut the Xeon platform's.
+	xeon, err := o.RunPoint(testWs[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpi.Points[0].Y >= xeon.CPI {
+		t.Fatalf("Itanium CPI %v >= Xeon %v at %dW", cpi.Points[0].Y, xeon.CPI, testWs[0])
+	}
+}

@@ -1,0 +1,83 @@
+// Package model implements the regression machinery behind the paper's
+// Section 6: ordinary least-squares linear fits and two-segment piecewise
+// linear fits whose segment intersection is the "pivot point" separating
+// the cached region from the scaled region of OLTP behaviour.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Linear is a fitted line y = Intercept + Slope*x.
+type Linear struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination of the fit
+	SSE       float64 // sum of squared residuals
+	N         int     // number of points fitted
+}
+
+// Eval returns the model's prediction at x.
+func (l Linear) Eval(x float64) float64 { return l.Intercept + l.Slope*x }
+
+// String renders the line in slope-intercept form.
+func (l Linear) String() string {
+	return fmt.Sprintf("y = %.6g + %.6g*x (R2=%.4f, n=%d)", l.Intercept, l.Slope, l.R2, l.N)
+}
+
+// ErrTooFewPoints is returned when a fit is requested on fewer points than
+// the model has degrees of freedom.
+var ErrTooFewPoints = errors.New("model: too few points")
+
+// FitLinear computes the ordinary least-squares line through (xs, ys).
+// It requires at least two points with distinct x values.
+func FitLinear(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, fmt.Errorf("model: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return Linear{}, ErrTooFewPoints
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Linear{}, errors.New("model: all x values identical")
+	}
+	l := Linear{N: n}
+	l.Slope = sxy / sxx
+	l.Intercept = my - l.Slope*mx
+	for i := 0; i < n; i++ {
+		r := ys[i] - l.Eval(xs[i])
+		l.SSE += r * r
+	}
+	if syy > 0 {
+		l.R2 = 1 - l.SSE/syy
+	} else {
+		l.R2 = 1 // constant data perfectly explained by a flat line
+	}
+	return l, nil
+}
+
+// Intersection returns the x coordinate where two lines cross.
+// Parallel lines have no intersection.
+func Intersection(a, b Linear) (float64, error) {
+	ds := a.Slope - b.Slope
+	if math.Abs(ds) < 1e-300 {
+		return 0, errors.New("model: parallel lines do not intersect")
+	}
+	return (b.Intercept - a.Intercept) / ds, nil
+}

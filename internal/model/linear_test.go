@@ -1,0 +1,124 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	l, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Slope-2) > 1e-12 || math.Abs(l.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1", l)
+	}
+	if l.R2 < 1-1e-12 {
+		t.Fatalf("R2 = %v, want 1", l.R2)
+	}
+	if l.SSE > 1e-12 {
+		t.Fatalf("SSE = %v, want 0", l.SSE)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("want error for single point")
+	}
+	if _, err := FitLinear([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("want error for identical x")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("want error for mismatched lengths")
+	}
+}
+
+func TestFitLinearConstantData(t *testing.T) {
+	l, err := FitLinear([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Slope) > 1e-12 || math.Abs(l.Intercept-5) > 1e-12 {
+		t.Fatalf("fit of constant = %+v", l)
+	}
+	if l.R2 != 1 {
+		t.Fatalf("R2 of constant data = %v, want 1", l.R2)
+	}
+}
+
+// Property: fitting recovers an arbitrary noiseless line exactly.
+func TestFitLinearRecoversLineQuick(t *testing.T) {
+	f := func(slope, intercept float64, seed int64) bool {
+		if math.Abs(slope) > 1e6 || math.Abs(intercept) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 8)
+		ys := make([]float64, 8)
+		for i := range xs {
+			xs[i] = float64(i)*10 + rng.Float64()
+			ys[i] = intercept + slope*xs[i]
+		}
+		l, err := FitLinear(xs, ys)
+		if err != nil {
+			return false
+		}
+		scale := math.Max(1, math.Max(math.Abs(slope), math.Abs(intercept)))
+		return math.Abs(l.Slope-slope) < 1e-6*scale && math.Abs(l.Intercept-intercept) < 1e-5*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: residuals of the OLS fit sum to ~zero.
+func TestFitLinearResidualsSumZeroQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i) + rng.Float64()
+			ys[i] = rng.NormFloat64() * 100
+		}
+		l, err := FitLinear(xs, ys)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for i := range xs {
+			sum += ys[i] - l.Eval(xs[i])
+		}
+		return math.Abs(sum) < 1e-6*float64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	a := Linear{Slope: 2, Intercept: 0}
+	b := Linear{Slope: 1, Intercept: 3}
+	x, err := Intersection(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-3) > 1e-12 {
+		t.Fatalf("intersection = %v, want 3", x)
+	}
+	if _, err := Intersection(a, a); err == nil {
+		t.Fatal("parallel lines should not intersect")
+	}
+}
+
+func TestLinearString(t *testing.T) {
+	l := Linear{Slope: 1, Intercept: 2, R2: 0.5, N: 3}
+	if l.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,105 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Piecewise is a two-segment piecewise-linear model of the kind the paper
+// fits to CPI(W) and MPI(W): a steep "cached region" line for small x and a
+// shallow "scaled region" line for large x, intersecting at the pivot.
+type Piecewise struct {
+	Cached Linear  // fitted to points with x <= Break
+	Scaled Linear  // fitted to points with x >= Break
+	Break  float64 // the x of the last point assigned to the cached region
+	Pivot  float64 // x coordinate where the two lines intersect
+	SSE    float64 // combined sum of squared residuals
+}
+
+// Eval returns the model's prediction at x: the cached line left of the
+// pivot and the scaled line right of it.
+func (p Piecewise) Eval(x float64) float64 {
+	if x <= p.Pivot {
+		return p.Cached.Eval(x)
+	}
+	return p.Scaled.Eval(x)
+}
+
+// Extrapolate predicts the metric at a configuration size x beyond the
+// measured range using the scaled-region line, which is the paper's method
+// for projecting large setups from the pivot-point configuration.
+func (p Piecewise) Extrapolate(x float64) float64 { return p.Scaled.Eval(x) }
+
+func (p Piecewise) String() string {
+	return fmt.Sprintf("cached[%s] scaled[%s] pivot=%.1f", p.Cached, p.Scaled, p.Pivot)
+}
+
+// FitPiecewise finds the two-segment piecewise-linear model minimizing the
+// combined SSE over all breakpoint choices. Points must be sorted by
+// increasing x. Each segment receives at least two points; the breakpoint
+// candidate set is the measured x values themselves, matching the paper's
+// least-squares-per-region procedure. A valid fit also requires the two
+// lines to actually intersect.
+func FitPiecewise(xs, ys []float64) (Piecewise, error) {
+	if len(xs) != len(ys) {
+		return Piecewise{}, fmt.Errorf("model: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 4 {
+		return Piecewise{}, ErrTooFewPoints
+	}
+	for i := 1; i < n; i++ {
+		if xs[i] < xs[i-1] {
+			return Piecewise{}, fmt.Errorf("model: x values not sorted at index %d", i)
+		}
+	}
+	best := Piecewise{SSE: math.Inf(1)}
+	found := false
+	// k is the index of the last point assigned to the cached region;
+	// the segments are disjoint so that a point lying exactly on one line
+	// never contaminates the other segment's fit.
+	for k := 1; k <= n-3; k++ {
+		cached, err := FitLinear(xs[:k+1], ys[:k+1])
+		if err != nil {
+			continue
+		}
+		scaled, err := FitLinear(xs[k+1:], ys[k+1:])
+		if err != nil {
+			continue
+		}
+		pivot, err := Intersection(cached, scaled)
+		if err != nil {
+			continue
+		}
+		sse := cached.SSE + scaled.SSE
+		if sse < best.SSE {
+			best = Piecewise{Cached: cached, Scaled: scaled, Break: xs[k], Pivot: pivot, SSE: sse}
+			found = true
+		}
+	}
+	if !found {
+		return Piecewise{}, fmt.Errorf("model: no valid piecewise fit (degenerate data)")
+	}
+	return best, nil
+}
+
+// MAPE returns the mean absolute percentage error of model predictions
+// against the observations, a convenience for validating extrapolations.
+func MAPE(predict func(float64) float64, xs, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	cnt := 0
+	for i := range xs {
+		if ys[i] == 0 {
+			continue
+		}
+		sum += math.Abs(predict(xs[i])-ys[i]) / math.Abs(ys[i])
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}

@@ -1,0 +1,136 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthPiecewise builds noiseless data from two lines meeting at pivot.
+func synthPiecewise(xs []float64, s1, i1, s2 float64, pivot float64) []float64 {
+	i2 := i1 + s1*pivot - s2*pivot // force intersection at pivot
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= pivot {
+			ys[i] = i1 + s1*x
+		} else {
+			ys[i] = i2 + s2*x
+		}
+	}
+	return ys
+}
+
+func TestFitPiecewiseExact(t *testing.T) {
+	xs := []float64{10, 25, 50, 100, 150, 200, 300, 400, 500, 800}
+	// Steep cached region up to 125, shallow scaled region after.
+	ys := synthPiecewise(xs, 0.05, 1.0, 0.002, 125)
+	p, err := FitPiecewise(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Pivot-125) > 1 {
+		t.Fatalf("pivot = %v, want ~125 (%s)", p.Pivot, p)
+	}
+	if p.SSE > 1e-9 {
+		t.Fatalf("SSE = %v, want ~0", p.SSE)
+	}
+	if math.Abs(p.Cached.Slope-0.05) > 1e-6 || math.Abs(p.Scaled.Slope-0.002) > 1e-6 {
+		t.Fatalf("slopes = %v / %v", p.Cached.Slope, p.Scaled.Slope)
+	}
+}
+
+func TestFitPiecewiseErrors(t *testing.T) {
+	if _, err := FitPiecewise([]float64{1, 2, 3}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("want error on <4 points")
+	}
+	if _, err := FitPiecewise([]float64{1, 3, 2, 4}, []float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("want error on unsorted x")
+	}
+	if _, err := FitPiecewise([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("want error on mismatched lengths")
+	}
+}
+
+func TestFitPiecewiseEval(t *testing.T) {
+	xs := []float64{10, 50, 100, 200, 400, 800}
+	ys := synthPiecewise(xs, 0.02, 2.0, 0.001, 150)
+	p, err := FitPiecewise(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left of pivot uses the cached line, right of pivot the scaled line.
+	if got, want := p.Eval(20), 2.0+0.02*20; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Eval(20) = %v, want %v", got, want)
+	}
+	ext := p.Extrapolate(2000)
+	want := p.Scaled.Eval(2000)
+	if ext != want {
+		t.Fatalf("Extrapolate = %v, want %v", ext, want)
+	}
+}
+
+// Property: the pivot of a fit on exact two-segment data lies at the true
+// intersection, for random steep/shallow slope pairs.
+func TestFitPiecewisePivotQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s1 := 0.01 + rng.Float64()*0.1  // steep
+		s2 := rng.Float64() * 0.003     // shallow
+		pivot := 80 + rng.Float64()*120 // between 80 and 200
+		xs := []float64{10, 25, 50, 75, 100, 150, 250, 350, 500, 650, 800}
+		ys := synthPiecewise(xs, s1, 1+rng.Float64(), s2, pivot)
+		p, err := FitPiecewise(xs, ys)
+		if err != nil {
+			return false
+		}
+		// The breakpoint grid is discrete so allow tolerance of the gap
+		// between samples around the pivot.
+		return math.Abs(p.Pivot-pivot) < 60
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: piecewise SSE never exceeds the single-line SSE (the model
+// class is strictly richer).
+func TestFitPiecewiseBeatsLinearQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := []float64{10, 25, 50, 100, 200, 300, 500, 800}
+		ys := make([]float64, len(xs))
+		for i := range ys {
+			ys[i] = rng.Float64() * 10
+		}
+		p, errP := FitPiecewise(xs, ys)
+		l, errL := FitLinear(xs, ys)
+		if errP != nil || errL != nil {
+			return true // degenerate random data; nothing to compare
+		}
+		return p.SSE <= l.SSE+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	pred := func(x float64) float64 { return 2 * x }
+	xs := []float64{1, 2}
+	ys := []float64{2, 4}
+	if got := MAPE(pred, xs, ys); got != 0 {
+		t.Fatalf("MAPE = %v, want 0", got)
+	}
+	ys = []float64{4, 8} // predictions are half the observations -> 50% error
+	if got := MAPE(pred, xs, ys); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("MAPE = %v, want 0.5", got)
+	}
+	if got := MAPE(pred, nil, nil); got != 0 {
+		t.Fatalf("MAPE of empty = %v", got)
+	}
+	// Zero observations are skipped, not divided by.
+	if got := MAPE(pred, []float64{1}, []float64{0}); got != 0 {
+		t.Fatalf("MAPE with zero obs = %v", got)
+	}
+}

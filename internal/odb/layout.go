@@ -1,0 +1,216 @@
+package odb
+
+import (
+	"fmt"
+
+	"odbscale/internal/buffercache"
+)
+
+// BlockID aliases the buffer cache's block naming so the engine and cache
+// agree on identities.
+type BlockID = buffercache.BlockID
+
+// Btree models the block-access shape of a B-tree index: a root block,
+// interior branch levels and a leaf level, sized from the entry count and
+// fanout. Only the blocks matter; keys map deterministically onto leaves
+// so that co-located keys share leaf blocks exactly as a real index would.
+type Btree struct {
+	Name    string
+	Entries uint64
+	Fanout  uint64 // children per branch block
+	LeafCap uint64 // entries per leaf block
+
+	base   BlockID  // first block of this index's extent
+	levels []uint64 // block count per level, root first
+	total  uint64
+}
+
+// NewBtree sizes a tree for the given entry count.
+func NewBtree(name string, entries, fanout, leafCap uint64) *Btree {
+	if entries == 0 || fanout < 2 || leafCap < 1 {
+		panic("odb: bad btree geometry for " + name)
+	}
+	leaves := (entries + leafCap - 1) / leafCap
+	levels := []uint64{leaves}
+	for levels[0] > 1 {
+		next := (levels[0] + fanout - 1) / fanout
+		levels = append([]uint64{next}, levels...)
+	}
+	t := &Btree{Name: name, Entries: entries, Fanout: fanout, LeafCap: leafCap, levels: levels}
+	for _, n := range levels {
+		t.total += n
+	}
+	return t
+}
+
+// Blocks returns the total block count of the index.
+func (t *Btree) Blocks() uint64 { return t.total }
+
+// Height returns the number of levels including the leaf level.
+func (t *Btree) Height() int { return len(t.levels) }
+
+// Path returns the root-to-leaf block IDs visited when looking up the
+// entry with ordinal position ord (0 <= ord < Entries).
+func (t *Btree) Path(ord uint64) []BlockID {
+	if ord >= t.Entries {
+		panic(fmt.Sprintf("odb: ordinal %d out of range for %s (%d entries)", ord, t.Name, t.Entries))
+	}
+	leaf := ord / t.LeafCap
+	path := make([]BlockID, 0, len(t.levels))
+	offset := uint64(0)
+	nLeaves := t.levels[len(t.levels)-1]
+	for lvl, count := range t.levels {
+		// The block at this level covering the leaf, by proportional
+		// position (uniform fanout).
+		var idx uint64
+		if lvl == len(t.levels)-1 {
+			idx = leaf
+		} else {
+			idx = leaf * count / nLeaves
+		}
+		path = append(path, t.base+BlockID(offset+idx))
+		offset += count
+	}
+	return path
+}
+
+// Heap is the block extent of a heap table.
+type Heap struct {
+	Table TableID
+	Rows  uint64
+	base  BlockID
+	perBl uint64
+	total uint64
+}
+
+// Block returns the block holding the row with ordinal position ord.
+func (h *Heap) Block(ord uint64) BlockID {
+	if ord >= h.Rows {
+		panic(fmt.Sprintf("odb: row %d out of range for %s (%d rows)", ord, h.Table, h.Rows))
+	}
+	return h.base + BlockID(ord/h.perBl)
+}
+
+// Slot returns the within-block row slot of ordinal ord.
+func (h *Heap) Slot(ord uint64) int { return int(ord % h.perBl) }
+
+// RowsPerBlock returns the heap's rows-per-block factor.
+func (h *Heap) RowsPerBlock() uint64 { return h.perBl }
+
+// Blocks returns the heap's total block count.
+func (h *Heap) Blocks() uint64 { return h.total }
+
+// Layout assigns every table and index a disjoint extent of the block
+// address space for a given warehouse count.
+type Layout struct {
+	Warehouses int
+	heaps      map[TableID]*Heap
+	trees      map[TableID]*Btree
+	next       BlockID
+}
+
+// indexGeometry gives fanout and leaf capacity per index.
+var indexGeometry = map[TableID]struct{ fanout, leafCap uint64 }{
+	IndexCustomer: {400, 160},
+	IndexStock:    {400, 200},
+	IndexItem:     {400, 250},
+	IndexOrder:    {400, 220},
+}
+
+// indexEntries returns the entry count of an index for w warehouses.
+func indexEntries(t TableID, w int) uint64 {
+	switch t {
+	case IndexCustomer:
+		return uint64(CustomersPerWarehouse) * uint64(w)
+	case IndexStock:
+		return uint64(StockPerWarehouse) * uint64(w)
+	case IndexItem:
+		return Items
+	case IndexOrder:
+		return uint64(OrdersPerWarehouse) * uint64(w)
+	}
+	panic("odb: not an index: " + t.String())
+}
+
+// NewLayout lays out the database for w warehouses.
+func NewLayout(w int) *Layout {
+	if w < 1 {
+		panic("odb: need at least one warehouse")
+	}
+	l := &Layout{Warehouses: w, heaps: make(map[TableID]*Heap), trees: make(map[TableID]*Btree)}
+	for t := TableWarehouse; t <= TableNewOrder; t++ {
+		var rows uint64
+		if t == TableItem {
+			rows = Items
+		} else {
+			rows = uint64(rowsPerWarehouse[t]) * uint64(w)
+		}
+		h := &Heap{Table: t, Rows: rows, base: l.next, perBl: uint64(RowsPerBlock(t))}
+		h.total = heapBlocks(t, w)
+		l.next += BlockID(h.total)
+		l.heaps[t] = h
+	}
+	for t := IndexCustomer; t <= IndexOrder; t++ {
+		g := indexGeometry[t]
+		bt := NewBtree(t.String(), indexEntries(t, w), g.fanout, g.leafCap)
+		bt.base = l.next
+		l.next += BlockID(bt.Blocks())
+		l.trees[t] = bt
+	}
+	return l
+}
+
+// Heap returns the extent of a heap table.
+func (l *Layout) Heap(t TableID) *Heap { return l.heaps[t] }
+
+// TableOf returns the table or index whose extent contains block.
+func (l *Layout) TableOf(block BlockID) TableID {
+	for t := TableWarehouse; t <= TableNewOrder; t++ {
+		h := l.heaps[t]
+		if block >= h.base && block < h.base+BlockID(h.total) {
+			return t
+		}
+	}
+	for t := IndexCustomer; t <= IndexOrder; t++ {
+		bt := l.trees[t]
+		if block >= bt.base && block < bt.base+BlockID(bt.total) {
+			return t
+		}
+	}
+	panic(fmt.Sprintf("odb: block %d outside every extent", block))
+}
+
+// Index returns a B-tree index.
+func (l *Layout) Index(t TableID) *Btree { return l.trees[t] }
+
+// TotalBlocks returns the database size in blocks.
+func (l *Layout) TotalBlocks() uint64 { return uint64(l.next) }
+
+// SizeMB returns the database size in megabytes.
+func (l *Layout) SizeMB() float64 {
+	return float64(l.TotalBlocks()) * BlockSize / (1 << 20)
+}
+
+// Ordinals for composite keys.
+
+// CustomerOrdinal maps (warehouse, district, customer) to the customer
+// heap/index ordinal. Inputs are zero-based.
+func CustomerOrdinal(w, d, c int) uint64 {
+	return uint64(w)*uint64(CustomersPerWarehouse) + uint64(d)*uint64(CustomersPerDistrict) + uint64(c)
+}
+
+// StockOrdinal maps (warehouse, item) to the stock ordinal.
+func StockOrdinal(w, i int) uint64 {
+	return uint64(w)*uint64(StockPerWarehouse) + uint64(i)
+}
+
+// DistrictOrdinal maps (warehouse, district) to the district ordinal.
+func DistrictOrdinal(w, d int) uint64 {
+	return uint64(w)*uint64(DistrictsPerWarehouse) + uint64(d)
+}
+
+// OrderOrdinal maps (warehouse, district, order) to the order ordinal.
+func OrderOrdinal(w, d, o int) uint64 {
+	perDistrict := OrdersPerWarehouse / DistrictsPerWarehouse
+	return uint64(w)*uint64(OrdersPerWarehouse) + uint64(d)*uint64(perDistrict) + uint64(o)
+}

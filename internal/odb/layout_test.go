@@ -1,0 +1,175 @@
+package odb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"odbscale/internal/xrand"
+)
+
+func TestWarehouseSizeAbout100MB(t *testing.T) {
+	// The paper: one warehouse is about 100 MB including indices. Compare
+	// the marginal size of adding warehouses (the shared item table is a
+	// constant offset).
+	small := NewLayout(10)
+	big := NewLayout(110)
+	perW := (big.SizeMB() - small.SizeMB()) / 100
+	if perW < 70 || perW > 130 {
+		t.Fatalf("marginal warehouse size = %.1f MB, want ~100", perW)
+	}
+}
+
+func TestLayoutDisjointExtents(t *testing.T) {
+	l := NewLayout(3)
+	total := l.TotalBlocks()
+	sum := uint64(0)
+	for tb := TableWarehouse; tb <= TableNewOrder; tb++ {
+		sum += l.Heap(tb).Blocks()
+	}
+	for idx := IndexCustomer; idx <= IndexOrder; idx++ {
+		sum += l.Index(idx).Blocks()
+	}
+	if sum != total {
+		t.Fatalf("extent sum %d != total %d", sum, total)
+	}
+}
+
+func TestHeapBlockMapping(t *testing.T) {
+	l := NewLayout(2)
+	h := l.Heap(TableCustomer)
+	per := h.RowsPerBlock()
+	if h.Block(0) != h.Block(per-1) {
+		t.Fatal("rows in same block mapped differently")
+	}
+	if h.Block(per-1) == h.Block(per) {
+		t.Fatal("rows across block boundary mapped together")
+	}
+	if h.Slot(per+3) != 3 {
+		t.Fatalf("Slot = %d", h.Slot(per+3))
+	}
+}
+
+func TestHeapOutOfRangePanics(t *testing.T) {
+	l := NewLayout(1)
+	h := l.Heap(TableWarehouse)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	h.Block(h.Rows)
+}
+
+func TestBtreeShape(t *testing.T) {
+	bt := NewBtree("t", 1_000_000, 400, 200)
+	// 5000 leaves, 13 branch, 1 root -> height 3.
+	if bt.Height() != 3 {
+		t.Fatalf("height = %d", bt.Height())
+	}
+	if bt.Blocks() != 5000+13+1 {
+		t.Fatalf("blocks = %d", bt.Blocks())
+	}
+}
+
+func TestBtreeSingleLeaf(t *testing.T) {
+	bt := NewBtree("t", 10, 400, 200)
+	if bt.Height() != 1 || bt.Blocks() != 1 {
+		t.Fatalf("tiny tree: height %d blocks %d", bt.Height(), bt.Blocks())
+	}
+	p := bt.Path(5)
+	if len(p) != 1 {
+		t.Fatalf("path = %v", p)
+	}
+}
+
+// Property: every path starts at the root, has length Height, visits one
+// block per level within that level's extent, and nearby ordinals share
+// upper-level blocks.
+func TestBtreePathQuick(t *testing.T) {
+	bt := NewBtree("t", 500_000, 400, 200)
+	root := bt.Path(0)[0]
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		ord := uint64(rng.Intn(500_000))
+		p := bt.Path(ord)
+		if len(p) != bt.Height() || p[0] != root {
+			return false
+		}
+		// Same-leaf ordinals produce identical paths.
+		ord2 := ord - ord%200
+		p2 := bt.Path(ord2)
+		for i := range p {
+			if p[i] != p2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBtreePathOutOfRangePanics(t *testing.T) {
+	bt := NewBtree("t", 100, 400, 200)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	bt.Path(100)
+}
+
+func TestOrdinalHelpers(t *testing.T) {
+	if CustomerOrdinal(0, 0, 0) != 0 {
+		t.Fatal("first customer not ordinal 0")
+	}
+	if CustomerOrdinal(1, 0, 0) != uint64(CustomersPerWarehouse) {
+		t.Fatal("warehouse stride wrong")
+	}
+	if DistrictOrdinal(2, 3) != 23 {
+		t.Fatalf("DistrictOrdinal = %d", DistrictOrdinal(2, 3))
+	}
+	if StockOrdinal(1, 5) != uint64(StockPerWarehouse+5) {
+		t.Fatal("StockOrdinal stride wrong")
+	}
+	if OrderOrdinal(0, 1, 0) != uint64(OrdersPerWarehouse/DistrictsPerWarehouse) {
+		t.Fatal("OrderOrdinal stride wrong")
+	}
+}
+
+func TestLayoutGrowsLinearly(t *testing.T) {
+	l1 := NewLayout(100)
+	l2 := NewLayout(200)
+	ratio := float64(l2.TotalBlocks()) / float64(l1.TotalBlocks())
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("200W/100W block ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestBadLayoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewLayout(0)
+}
+
+func TestTableNames(t *testing.T) {
+	if TableCustomer.String() != "customer" || IndexOrder.String() != "order_idx" {
+		t.Fatal("table names wrong")
+	}
+	if TableID(99).String() == "" {
+		t.Fatal("unknown table empty name")
+	}
+}
+
+func TestRowsPerBlockPanicsOnIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	RowsPerBlock(IndexStock)
+}

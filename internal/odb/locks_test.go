@@ -1,0 +1,154 @@
+package odb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLockGrantAndRelease(t *testing.T) {
+	m := NewLockManager()
+	res := LockID{LockDistrict, 5}
+	if !m.Acquire(res, 1, nil) {
+		t.Fatal("free lock not granted")
+	}
+	if !m.HeldBy(res, 1) {
+		t.Fatal("HeldBy false after grant")
+	}
+	m.Release(res, 1)
+	if m.HeldBy(res, 1) {
+		t.Fatal("held after release")
+	}
+}
+
+func TestLockConflictQueuesFIFO(t *testing.T) {
+	m := NewLockManager()
+	res := LockID{LockDistrict, 1}
+	m.Acquire(res, 1, nil)
+	var order []int
+	if m.Acquire(res, 2, func() { order = append(order, 2) }) {
+		t.Fatal("conflicting acquire granted")
+	}
+	if m.Acquire(res, 3, func() { order = append(order, 3) }) {
+		t.Fatal("conflicting acquire granted")
+	}
+	if m.Waiters(res) != 2 {
+		t.Fatalf("Waiters = %d", m.Waiters(res))
+	}
+	m.Release(res, 1)
+	if len(order) != 1 || order[0] != 2 || !m.HeldBy(res, 2) {
+		t.Fatalf("grant order = %v", order)
+	}
+	m.Release(res, 2)
+	if len(order) != 2 || order[1] != 3 || !m.HeldBy(res, 3) {
+		t.Fatalf("grant order = %v", order)
+	}
+	m.Release(res, 3)
+	s := m.Stats()
+	if s.Acquires != 3 || s.Conflicts != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestReacquirePanics(t *testing.T) {
+	m := NewLockManager()
+	res := LockID{LockWarehouse, 0}
+	m.Acquire(res, 1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	m.Acquire(res, 1, nil)
+}
+
+func TestReleaseNotHeldPanics(t *testing.T) {
+	m := NewLockManager()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	m.Release(LockID{LockDistrict, 9}, 1)
+}
+
+func TestLockIDOrdering(t *testing.T) {
+	a := LockID{LockWarehouse, 5}
+	b := LockID{LockDistrict, 1}
+	if !a.Less(b) {
+		t.Fatal("warehouse locks must order before district locks")
+	}
+	c := LockID{LockDistrict, 2}
+	if !b.Less(c) || c.Less(b) {
+		t.Fatal("ordinal ordering wrong")
+	}
+	if a.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// Property: at most one holder per resource, and every grant callback
+// fires exactly once, in queue order.
+func TestSingleHolderQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewLockManager()
+		held := map[LockID]int{} // resource -> owner
+		owns := map[int][]LockID{}
+		waiting := map[int]map[LockID]bool{}
+		pendingGrants := 0
+		for step := 0; step < 500; step++ {
+			owner := rng.Intn(8)
+			res := LockID{LockDistrict, uint64(rng.Intn(4))}
+			if locks := owns[owner]; len(locks) > 0 && rng.Intn(2) == 0 {
+				// Release a random held lock.
+				r := locks[rng.Intn(len(locks))]
+				m.Release(r, owner)
+				// Remove from owns; if a waiter was granted, the grant
+				// callback already updated the maps.
+				rest := owns[owner][:0]
+				for _, x := range owns[owner] {
+					if x != r {
+						rest = append(rest, x)
+					}
+				}
+				owns[owner] = rest
+				if h, ok := held[r]; ok && h == owner {
+					delete(held, r)
+				}
+				continue
+			}
+			// Skip if this owner already holds or waits on res (the
+			// workload never does that).
+			if h, ok := held[res]; ok && h == owner {
+				continue
+			}
+			if waiting[owner][res] {
+				continue
+			}
+			if m.Acquire(res, owner, func() {
+				held[res] = owner
+				owns[owner] = append(owns[owner], res)
+				delete(waiting[owner], res)
+				pendingGrants--
+			}) {
+				held[res] = owner
+				owns[owner] = append(owns[owner], res)
+			} else {
+				if waiting[owner] == nil {
+					waiting[owner] = map[LockID]bool{}
+				}
+				waiting[owner][res] = true
+				pendingGrants++
+			}
+			// Invariant: the manager's holder agrees with ours.
+			if h, ok := held[res]; ok && !m.HeldBy(res, h) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

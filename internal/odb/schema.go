@@ -1,0 +1,125 @@
+// Package odb implements the Oracle Database Benchmark workload used by
+// the paper: a TPC-C-like order-entry database where each warehouse
+// supplies ten sales districts of three thousand customers, and clients
+// run a mix of NewOrder, Payment, OrderStatus, Delivery and StockLevel
+// transactions.
+//
+// The engine is built in two layers. The logical layer (schema, block
+// layout, B-tree access paths, lock manager, transaction generator)
+// produces, for any configured warehouse count, the exact sequence of
+// block reads and writes, lock acquisitions, user-mode instruction
+// budgets and redo bytes each transaction performs; the system simulator
+// executes those operation streams against the buffer cache, disks and
+// CPUs. The physical layer (store.go) optionally gives blocks real 8 KB
+// payloads with row slots and a redo log with crash recovery, making the
+// engine a genuinely functional small-scale database.
+package odb
+
+import "fmt"
+
+// Block geometry. The paper's Oracle setup uses 8 KB database blocks and
+// reports disk traffic in 1 KB units.
+const (
+	BlockSize   = 8192
+	BlockSizeKB = BlockSize / 1024
+)
+
+// Cardinalities per warehouse, following the ODB/TPC-C schema the paper
+// describes: ten districts per warehouse, three thousand customers per
+// district.
+const (
+	DistrictsPerWarehouse = 10
+	CustomersPerDistrict  = 3000
+	CustomersPerWarehouse = DistrictsPerWarehouse * CustomersPerDistrict
+	StockPerWarehouse     = 100_000
+	OrdersPerWarehouse    = CustomersPerWarehouse
+	OrderLinesPerOrder    = 10
+	Items                 = 100_000 // shared across all warehouses
+)
+
+// TableID identifies a table or index in the layout.
+type TableID int
+
+// The tables and indices of the ODB schema.
+const (
+	TableWarehouse TableID = iota
+	TableDistrict
+	TableCustomer
+	TableStock
+	TableItem
+	TableOrder
+	TableOrderLine
+	TableHistory
+	TableNewOrder
+	IndexCustomer // (w, d, c) -> customer row
+	IndexStock    // (w, i) -> stock row
+	IndexItem     // (i) -> item row
+	IndexOrder    // (w, d, o) -> order row
+	numTables
+)
+
+var tableNames = [...]string{
+	"warehouse", "district", "customer", "stock", "item",
+	"order", "orderline", "history", "neworder",
+	"customer_idx", "stock_idx", "item_idx", "order_idx",
+}
+
+func (t TableID) String() string {
+	if int(t) < len(tableNames) {
+		return tableNames[t]
+	}
+	return fmt.Sprintf("table(%d)", int(t))
+}
+
+// rowBytes gives approximate row sizes; together with the cardinalities
+// they make one warehouse about 100 MB including indices, matching the
+// paper's Section 3.1.
+var rowBytes = map[TableID]int{
+	TableWarehouse: 96,
+	TableDistrict:  112,
+	TableCustomer:  680,
+	TableStock:     320,
+	TableItem:      88,
+	TableOrder:     32,
+	TableOrderLine: 56,
+	TableHistory:   48,
+	TableNewOrder:  16,
+}
+
+// rowsPerWarehouse gives heap cardinality per warehouse (TableItem is
+// global and handled separately).
+var rowsPerWarehouse = map[TableID]int{
+	TableWarehouse: 1,
+	TableDistrict:  DistrictsPerWarehouse,
+	TableCustomer:  CustomersPerWarehouse,
+	TableStock:     StockPerWarehouse,
+	TableOrder:     OrdersPerWarehouse,
+	TableOrderLine: OrdersPerWarehouse * OrderLinesPerOrder,
+	TableHistory:   CustomersPerWarehouse,
+	TableNewOrder:  OrdersPerWarehouse * 3 / 10,
+}
+
+// RowsPerBlock returns how many rows of table t fit in one block.
+func RowsPerBlock(t TableID) int {
+	b, ok := rowBytes[t]
+	if !ok {
+		panic("odb: not a heap table: " + t.String())
+	}
+	n := BlockSize / b
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// heapBlocks returns the number of blocks table t occupies for w warehouses.
+func heapBlocks(t TableID, w int) uint64 {
+	var rows int
+	if t == TableItem {
+		rows = Items
+	} else {
+		rows = rowsPerWarehouse[t] * w
+	}
+	per := RowsPerBlock(t)
+	return uint64((rows + per - 1) / per)
+}

@@ -1,0 +1,358 @@
+package odb
+
+import (
+	"odbscale/internal/xrand"
+)
+
+// TxnType enumerates the five ODB transaction types.
+type TxnType int
+
+// The ODB transaction mix.
+const (
+	NewOrder TxnType = iota
+	Payment
+	OrderStatus
+	Delivery
+	StockLevel
+	numTxnTypes
+)
+
+var txnNames = [...]string{"NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel"}
+
+func (t TxnType) String() string { return txnNames[t] }
+
+// MixWeights is the standard transaction mix (percent).
+var MixWeights = [numTxnTypes]int{45, 43, 4, 4, 4}
+
+// OpKind enumerates operations in a transaction's execution program.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpCompute OpKind = iota // burn Instr user-mode instructions
+	OpRead                  // read Block (buffer cache get)
+	OpWrite                 // read-modify-write Block (get + mark dirty)
+	OpLock                  // acquire Res, may block
+	OpUnlock                // release Res
+	OpLog                   // emit Bytes of redo to the log writer
+	OpCommit                // transaction end: force the log, release CPU
+)
+
+// Op is one step of a transaction program. Instr user instructions of
+// compute are charged before the op's action for every kind, modelling
+// the code executed between block touches.
+type Op struct {
+	Kind  OpKind
+	Block BlockID
+	Res   LockID
+	Instr uint64
+	Bytes int
+	// Row-level effect for the functional (payload) engine: add Delta to
+	// the counter row (Table, Ord). Zero Delta means no logical effect.
+	Table TableID
+	Ord   uint64
+	Delta int64
+}
+
+// Txn is a generated transaction instance.
+type Txn struct {
+	Type     TxnType
+	Home     int // home warehouse (zero-based)
+	District int
+	Ops      []Op
+	UserIPX  uint64 // total user instructions across ops
+	LogBytes int
+}
+
+// instruction budgets per transaction type (user space). These are the
+// flat per-transaction path lengths of the paper's Figure 5 — they do not
+// depend on the warehouse count. The mix-weighted mean is ~1.06 M.
+var instrBudget = [numTxnTypes]uint64{
+	NewOrder:    1_200_000,
+	Payment:     850_000,
+	OrderStatus: 600_000,
+	Delivery:    1_900_000,
+	StockLevel:  1_400_000,
+}
+
+// logBytesFor gives mean redo bytes per type; the mix average is ~6 KB,
+// the paper's reported log volume per transaction.
+var logBytesFor = [numTxnTypes]int{
+	NewOrder:    9_500,
+	Payment:     2_600,
+	OrderStatus: 0,
+	Delivery:    7_000,
+	StockLevel:  0,
+}
+
+// Generator produces transaction programs for a fixed layout. Each
+// transaction picks a home warehouse uniformly (the workload exercises
+// the whole database, as the paper's ODB client population does); a
+// small fraction of NewOrder stock updates and Payment customers are
+// remote, producing genuine cross-warehouse sharing.
+type Generator struct {
+	L   *Layout
+	rng *xrand.Rand
+
+	item        *xrand.Zipf // item popularity
+	nextOrderID []int       // per district, cycling append cursor
+
+	// StockLevelScan bounds the stock-level item scan (the full TPC-C
+	// examines 200; the default trims it to keep op streams compact).
+	StockLevelScan int
+}
+
+// NewGenerator builds a generator over layout l with its own RNG stream.
+func NewGenerator(l *Layout, rng *xrand.Rand) *Generator {
+	return &Generator{
+		L:              l,
+		rng:            rng,
+		item:           xrand.NewZipf(rng.Split(101), 1.45, Items),
+		nextOrderID:    make([]int, l.Warehouses*DistrictsPerWarehouse),
+		StockLevelScan: 60,
+	}
+}
+
+// pickType draws a transaction type from the mix.
+func (g *Generator) pickType() TxnType {
+	v := g.rng.Intn(100)
+	acc := 0
+	for t := NewOrder; t < numTxnTypes; t++ {
+		acc += MixWeights[t]
+		if v < acc {
+			return t
+		}
+	}
+	return NewOrder
+}
+
+// Next generates the next transaction for the given client.
+func (g *Generator) Next(client int) *Txn {
+	w := g.rng.Intn(g.L.Warehouses)
+	_ = client
+	d := g.rng.Intn(DistrictsPerWarehouse)
+	t := g.pickType()
+	txn := &Txn{Type: t, Home: w, District: d}
+	b := &opBuilder{g: g, txn: txn, budget: g.jitter(instrBudget[t])}
+	switch t {
+	case NewOrder:
+		g.newOrder(b, w, d)
+	case Payment:
+		g.payment(b, w, d)
+	case OrderStatus:
+		g.orderStatus(b, w, d)
+	case Delivery:
+		g.delivery(b, w)
+	case StockLevel:
+		g.stockLevel(b, w, d)
+	}
+	b.finish()
+	return txn
+}
+
+// jitter spreads a budget ±15% so transactions are not identical.
+func (g *Generator) jitter(n uint64) uint64 {
+	f := 0.85 + g.rng.Float64()*0.30
+	return uint64(float64(n) * f)
+}
+
+// opBuilder accumulates ops and spreads the instruction budget across them.
+type opBuilder struct {
+	g      *Generator
+	txn    *Txn
+	budget uint64
+	ops    []Op
+}
+
+func (b *opBuilder) add(op Op) { b.ops = append(b.ops, op) }
+
+func (b *opBuilder) read(bl BlockID)  { b.add(Op{Kind: OpRead, Block: bl}) }
+func (b *opBuilder) write(bl BlockID) { b.add(Op{Kind: OpWrite, Block: bl}) }
+
+// writeRow is a write carrying a logical row effect for the payload engine.
+func (b *opBuilder) writeRow(bl BlockID, t TableID, ord uint64, delta int64) {
+	b.add(Op{Kind: OpWrite, Block: bl, Table: t, Ord: ord, Delta: delta})
+}
+
+func (b *opBuilder) lock(res LockID)   { b.add(Op{Kind: OpLock, Res: res}) }
+func (b *opBuilder) unlock(res LockID) { b.add(Op{Kind: OpUnlock, Res: res}) }
+
+func (b *opBuilder) indexPath(idx TableID, ord uint64) {
+	for _, bl := range b.g.L.Index(idx).Path(ord) {
+		b.read(bl)
+	}
+}
+
+// finish distributes the instruction budget over the ops, appends the log
+// write and commit, and installs the op slice on the transaction.
+func (b *opBuilder) finish() {
+	logBytes := 0
+	if base := logBytesFor[b.txn.Type]; base > 0 {
+		logBytes = int(b.g.jitter(uint64(base)))
+		b.add(Op{Kind: OpLog, Bytes: logBytes})
+	}
+	b.add(Op{Kind: OpCommit})
+	n := uint64(len(b.ops))
+	per := b.budget / n
+	rem := b.budget - per*n
+	for i := range b.ops {
+		b.ops[i].Instr = per
+	}
+	b.ops[len(b.ops)-1].Instr += rem
+	b.txn.Ops = b.ops
+	b.txn.UserIPX = b.budget
+	b.txn.LogBytes = logBytes
+}
+
+// --- transaction bodies ---
+
+func (g *Generator) newOrder(b *opBuilder, w, d int) {
+	l := g.L
+	b.read(l.Heap(TableWarehouse).Block(uint64(w)))
+
+	dres := LockID{LockDistrict, DistrictOrdinal(w, d)}
+	b.lock(dres)
+	b.write(l.Heap(TableDistrict).Block(DistrictOrdinal(w, d)))
+
+	c := g.rng.NURand(1023, 0, CustomersPerDistrict-1, 259)
+	cOrd := CustomerOrdinal(w, d, c)
+	b.indexPath(IndexCustomer, cOrd)
+	b.read(l.Heap(TableCustomer).Block(cOrd))
+
+	nItems := g.rng.UniformInt(5, 15)
+	for i := 0; i < nItems; i++ {
+		item := int(g.item.Next())
+		b.indexPath(IndexItem, uint64(item))
+		b.read(l.Heap(TableItem).Block(uint64(item)))
+		sw := w
+		if l.Warehouses > 1 && g.rng.Bernoulli(0.01) {
+			for sw == w {
+				sw = g.rng.Intn(l.Warehouses)
+			}
+		}
+		sOrd := StockOrdinal(sw, item)
+		b.indexPath(IndexStock, sOrd)
+		b.write(l.Heap(TableStock).Block(sOrd))
+	}
+
+	// Insert order, new-order and order lines in the district's append
+	// region (cycling within the fixed extent).
+	perDistrict := OrdersPerWarehouse / DistrictsPerWarehouse
+	dOrd := DistrictOrdinal(w, d)
+	oid := g.nextOrderID[dOrd]
+	g.nextOrderID[dOrd] = (oid + 1) % perDistrict
+	oOrd := OrderOrdinal(w, d, oid)
+	b.write(l.Heap(TableOrder).Block(oOrd))
+	b.indexPath(IndexOrder, oOrd)
+	noHeap := l.Heap(TableNewOrder)
+	b.write(noHeap.Block(oOrd % noHeap.Rows))
+	olHeap := l.Heap(TableOrderLine)
+	olBase := oOrd * OrderLinesPerOrder
+	seen := map[BlockID]bool{}
+	for i := 0; i < nItems; i++ {
+		bl := olHeap.Block((olBase + uint64(i)) % olHeap.Rows)
+		if !seen[bl] {
+			seen[bl] = true
+			b.write(bl)
+		}
+	}
+	b.unlock(dres)
+}
+
+func (g *Generator) payment(b *opBuilder, w, d int) {
+	l := g.L
+	amount := int64(g.rng.UniformInt(100, 500000)) // cents
+
+	wres := LockID{LockWarehouse, uint64(w)}
+	b.lock(wres)
+	b.writeRow(l.Heap(TableWarehouse).Block(uint64(w)), TableWarehouse, uint64(w), amount)
+
+	dres := LockID{LockDistrict, DistrictOrdinal(w, d)}
+	b.lock(dres)
+	b.writeRow(l.Heap(TableDistrict).Block(DistrictOrdinal(w, d)), TableDistrict, DistrictOrdinal(w, d), amount)
+
+	// 15% of payments are for a customer of a remote warehouse.
+	cw, cd := w, d
+	if l.Warehouses > 1 && g.rng.Bernoulli(0.15) {
+		for cw == w {
+			cw = g.rng.Intn(l.Warehouses)
+		}
+		cd = g.rng.Intn(DistrictsPerWarehouse)
+	}
+	c := g.rng.NURand(1023, 0, CustomersPerDistrict-1, 259)
+	cOrd := CustomerOrdinal(cw, cd, c)
+	b.indexPath(IndexCustomer, cOrd)
+	b.writeRow(l.Heap(TableCustomer).Block(cOrd), TableCustomer, cOrd, -amount)
+
+	hHeap := l.Heap(TableHistory)
+	b.write(hHeap.Block(cOrd % hHeap.Rows))
+
+	b.unlock(dres)
+	b.unlock(wres)
+}
+
+func (g *Generator) orderStatus(b *opBuilder, w, d int) {
+	l := g.L
+	c := g.rng.NURand(1023, 0, CustomersPerDistrict-1, 259)
+	cOrd := CustomerOrdinal(w, d, c)
+	b.indexPath(IndexCustomer, cOrd)
+	b.read(l.Heap(TableCustomer).Block(cOrd))
+
+	// OrderStatus reads the customer's most recent order, so the touched
+	// order blocks stay within the hot append region.
+	perDistrict := OrdersPerWarehouse / DistrictsPerWarehouse
+	dOrd := DistrictOrdinal(w, d)
+	recent := g.nextOrderID[dOrd]
+	oid := recent - 1 - g.rng.Intn(20)
+	if oid < 0 {
+		oid = 0
+	}
+	oOrd := OrderOrdinal(w, d, oid%perDistrict)
+	b.indexPath(IndexOrder, oOrd)
+	b.read(l.Heap(TableOrder).Block(oOrd))
+	olHeap := l.Heap(TableOrderLine)
+	b.read(olHeap.Block((oOrd * OrderLinesPerOrder) % olHeap.Rows))
+}
+
+func (g *Generator) delivery(b *opBuilder, w int) {
+	l := g.L
+	perDistrict := OrdersPerWarehouse / DistrictsPerWarehouse
+	for d := 0; d < DistrictsPerWarehouse; d++ {
+		dOrd := DistrictOrdinal(w, d)
+		oid := g.nextOrderID[dOrd]
+		oOrd := OrderOrdinal(w, d, oid%perDistrict)
+		noHeap := l.Heap(TableNewOrder)
+		b.write(noHeap.Block(oOrd % noHeap.Rows))
+		b.write(l.Heap(TableOrder).Block(oOrd))
+		olHeap := l.Heap(TableOrderLine)
+		b.write(olHeap.Block((oOrd * OrderLinesPerOrder) % olHeap.Rows))
+		c := g.rng.NURand(1023, 0, CustomersPerDistrict-1, 259)
+		cOrd := CustomerOrdinal(w, d, c)
+		b.write(l.Heap(TableCustomer).Block(cOrd))
+	}
+}
+
+func (g *Generator) stockLevel(b *opBuilder, w, d int) {
+	l := g.L
+	b.read(l.Heap(TableDistrict).Block(DistrictOrdinal(w, d)))
+	// Scan recent order lines, then probe the stock of the referenced
+	// items. Recently ordered items follow the popularity distribution.
+	olHeap := l.Heap(TableOrderLine)
+	perDistrict := OrdersPerWarehouse / DistrictsPerWarehouse
+	dOrd := DistrictOrdinal(w, d)
+	base := OrderOrdinal(w, d, g.nextOrderID[dOrd]%perDistrict) * OrderLinesPerOrder
+	seen := map[BlockID]bool{}
+	for i := 0; i < 20; i++ {
+		bl := olHeap.Block((base + uint64(i)) % olHeap.Rows)
+		if !seen[bl] {
+			seen[bl] = true
+			b.read(bl)
+		}
+	}
+	for i := 0; i < g.StockLevelScan; i++ {
+		item := int(g.item.Next())
+		sOrd := StockOrdinal(w, item)
+		b.indexPath(IndexStock, sOrd)
+		b.read(l.Heap(TableStock).Block(sOrd))
+	}
+}

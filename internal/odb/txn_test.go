@@ -1,0 +1,238 @@
+package odb
+
+import (
+	"testing"
+
+	"odbscale/internal/xrand"
+)
+
+func testGen(w int, seed int64) *Generator {
+	return NewGenerator(NewLayout(w), xrand.New(seed))
+}
+
+func TestMixDistribution(t *testing.T) {
+	g := testGen(5, 1)
+	counts := map[TxnType]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next(i%5).Type]++
+	}
+	check := func(tt TxnType, want float64) {
+		got := float64(counts[tt]) / n
+		if got < want-0.02 || got > want+0.02 {
+			t.Fatalf("%v frequency = %.3f, want ~%.2f", tt, got, want)
+		}
+	}
+	check(NewOrder, 0.45)
+	check(Payment, 0.43)
+	check(OrderStatus, 0.04)
+	check(Delivery, 0.04)
+	check(StockLevel, 0.04)
+}
+
+func TestHomeWarehouseCoverage(t *testing.T) {
+	// Transactions must exercise every warehouse roughly uniformly: the
+	// working set is a property of the database size, not the client
+	// count.
+	g := testGen(4, 2)
+	counts := make([]int, 4)
+	const n = 8000
+	for i := 0; i < n; i++ {
+		counts[g.Next(i%2).Home]++ // only 2 clients, all 4 warehouses
+	}
+	for w, c := range counts {
+		if c < n/8 || c > n/2 {
+			t.Fatalf("warehouse %d drew %d of %d", w, c, n)
+		}
+	}
+}
+
+func TestOpsWellFormed(t *testing.T) {
+	g := testGen(10, 3)
+	total := g.L.TotalBlocks()
+	for i := 0; i < 2000; i++ {
+		txn := g.Next(i % 10)
+		if len(txn.Ops) == 0 {
+			t.Fatal("empty transaction")
+		}
+		if txn.Ops[len(txn.Ops)-1].Kind != OpCommit {
+			t.Fatalf("last op = %v, want commit", txn.Ops[len(txn.Ops)-1].Kind)
+		}
+		locked := map[LockID]bool{}
+		var instr uint64
+		for _, op := range txn.Ops {
+			instr += op.Instr
+			switch op.Kind {
+			case OpRead, OpWrite:
+				if uint64(op.Block) >= total {
+					t.Fatalf("block %d outside database (%d)", op.Block, total)
+				}
+			case OpLock:
+				if locked[op.Res] {
+					t.Fatalf("double lock of %v", op.Res)
+				}
+				locked[op.Res] = true
+			case OpUnlock:
+				if !locked[op.Res] {
+					t.Fatalf("unlock of unheld %v", op.Res)
+				}
+				delete(locked, op.Res)
+			}
+		}
+		if len(locked) != 0 {
+			t.Fatalf("%v leaked locks: %v", txn.Type, locked)
+		}
+		if instr != txn.UserIPX {
+			t.Fatalf("instruction sum %d != UserIPX %d", instr, txn.UserIPX)
+		}
+	}
+}
+
+func TestLockOrderingDeadlockFree(t *testing.T) {
+	g := testGen(8, 4)
+	for i := 0; i < 5000; i++ {
+		txn := g.Next(i % 8)
+		var last *LockID
+		for _, op := range txn.Ops {
+			if op.Kind == OpLock {
+				op := op
+				if last != nil && !last.Less(op.Res) {
+					t.Fatalf("%v acquires %v after %v", txn.Type, op.Res, *last)
+				}
+				last = &op.Res
+			}
+		}
+	}
+}
+
+func TestUserIPXFlatAcrossW(t *testing.T) {
+	// The paper's Figure 5: user-space path length does not vary with the
+	// warehouse count.
+	mean := func(w int) float64 {
+		g := testGen(w, 5)
+		var sum uint64
+		const n = 5000
+		for i := 0; i < n; i++ {
+			sum += g.Next(i % w).UserIPX
+		}
+		return float64(sum) / n
+	}
+	small, large := mean(10), mean(400)
+	ratio := large / small
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("user IPX not flat: 10W=%.0f 400W=%.0f", small, large)
+	}
+	if small < 0.8e6 || small > 1.4e6 {
+		t.Fatalf("mean user IPX = %.0f, want ~1.06M", small)
+	}
+}
+
+func TestLogBytesAverageAbout6KB(t *testing.T) {
+	g := testGen(20, 6)
+	var sum int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += g.Next(i % 20).LogBytes
+	}
+	mean := float64(sum) / n
+	if mean < 4500 || mean > 7500 {
+		t.Fatalf("mean log bytes = %.0f, want ~6000", mean)
+	}
+}
+
+func TestDistinctBlocksGrowWithW(t *testing.T) {
+	// The root cause of the paper's MPI growth: the union of blocks
+	// touched grows with the warehouse count.
+	distinct := func(w int) int {
+		g := testGen(w, 7)
+		seen := map[BlockID]bool{}
+		for i := 0; i < 3000; i++ {
+			for _, op := range g.Next(i % w).Ops {
+				if op.Kind == OpRead || op.Kind == OpWrite {
+					seen[op.Block] = true
+				}
+			}
+		}
+		return len(seen)
+	}
+	small, large := distinct(10), distinct(200)
+	if large < 2*small {
+		t.Fatalf("distinct blocks: 10W=%d 200W=%d, want strong growth", small, large)
+	}
+}
+
+func TestNewOrderTouchesDistrictUnderLock(t *testing.T) {
+	g := testGen(2, 8)
+	for i := 0; i < 200; i++ {
+		txn := g.Next(0)
+		if txn.Type != NewOrder {
+			continue
+		}
+		seenLock := false
+		districtWrite := false
+		for _, op := range txn.Ops {
+			if op.Kind == OpLock && op.Res.Class == LockDistrict {
+				seenLock = true
+			}
+			if op.Kind == OpWrite && seenLock && !districtWrite {
+				districtWrite = true
+			}
+		}
+		if !seenLock || !districtWrite {
+			t.Fatal("NewOrder missing district lock/write")
+		}
+		return
+	}
+	t.Fatal("no NewOrder generated in 200 draws")
+}
+
+func TestPaymentCarriesRowEffects(t *testing.T) {
+	g := testGen(2, 9)
+	for i := 0; i < 500; i++ {
+		txn := g.Next(0)
+		if txn.Type != Payment {
+			continue
+		}
+		var sum int64
+		effects := 0
+		for _, op := range txn.Ops {
+			if op.Delta != 0 {
+				effects++
+				sum += op.Delta
+			}
+		}
+		// warehouse +amt, district +amt, customer -amt.
+		if effects != 3 || sum == 0 {
+			t.Fatalf("payment effects = %d, sum = %d", effects, sum)
+		}
+		return
+	}
+	t.Fatal("no Payment generated")
+}
+
+func TestStockLevelScanConfigurable(t *testing.T) {
+	g := testGen(2, 10)
+	g.StockLevelScan = 5
+	for i := 0; i < 500; i++ {
+		txn := g.Next(0)
+		if txn.Type == StockLevel {
+			reads := 0
+			for _, op := range txn.Ops {
+				if op.Kind == OpRead {
+					reads++
+				}
+			}
+			if reads > 60 {
+				t.Fatalf("trimmed stock level still reads %d blocks", reads)
+			}
+			return
+		}
+	}
+	t.Fatal("no StockLevel generated")
+}
+
+func TestTxnTypeString(t *testing.T) {
+	if NewOrder.String() != "NewOrder" || StockLevel.String() != "StockLevel" {
+		t.Fatal("names wrong")
+	}
+}

@@ -1,0 +1,240 @@
+package osker
+
+import (
+	"testing"
+
+	"odbscale/internal/sim"
+)
+
+// fixedRun returns a RunFunc where each process runs chunks of the given
+// instruction count at 1 cycle per instruction, blocking or finishing
+// according to the script map (chunk index -> block?).
+func fixedRun(chunk uint64) RunFunc {
+	return func(p *Proc, cpu int, budget uint64) Outcome {
+		n := chunk
+		if n > budget {
+			n = budget
+		}
+		return Outcome{Cycles: sim.Time(n), Instr: n}
+	}
+}
+
+func TestSingleProcessRuns(t *testing.T) {
+	eng := sim.New()
+	chunks := 0
+	run := func(p *Proc, cpu int, budget uint64) Outcome {
+		chunks++
+		if chunks >= 5 {
+			return Outcome{Cycles: 10, Instr: 10, Block: true}
+		}
+		return Outcome{Cycles: 10, Instr: 10}
+	}
+	s := New(eng, Config{CPUs: 1, QuantumInstr: 1000}, run, nil)
+	s.Admit(&Proc{ID: 1})
+	eng.RunUntil(1000)
+	if chunks != 5 {
+		t.Fatalf("chunks = %d, want 5 (stop at block)", chunks)
+	}
+	if s.Stats().Blocks != 1 {
+		t.Fatalf("blocks = %d", s.Stats().Blocks)
+	}
+}
+
+func TestRoundRobinPreemption(t *testing.T) {
+	eng := sim.New()
+	ran := map[int]int{}
+	run := func(p *Proc, cpu int, budget uint64) Outcome {
+		ran[p.ID]++
+		n := uint64(100)
+		if n > budget {
+			n = budget
+		}
+		return Outcome{Cycles: sim.Time(n), Instr: n}
+	}
+	s := New(eng, Config{CPUs: 1, QuantumInstr: 100}, run, nil)
+	s.Admit(&Proc{ID: 1})
+	s.Admit(&Proc{ID: 2})
+	eng.RunUntil(1000)
+	if ran[1] == 0 || ran[2] == 0 {
+		t.Fatalf("not round robin: %v", ran)
+	}
+	if s.Stats().Preemptions == 0 {
+		t.Fatal("no preemptions with contending processes")
+	}
+	if s.Stats().ContextSwitches < 2 {
+		t.Fatalf("switches = %d", s.Stats().ContextSwitches)
+	}
+}
+
+func TestNoPreemptionWhenAlone(t *testing.T) {
+	eng := sim.New()
+	s := New(eng, Config{CPUs: 1, QuantumInstr: 100}, fixedRun(100), nil)
+	s.Admit(&Proc{ID: 1})
+	eng.RunUntil(5000)
+	if s.Stats().Preemptions != 0 {
+		t.Fatalf("preemptions = %d, want 0 for a lone process", s.Stats().Preemptions)
+	}
+}
+
+func TestBlockAndWake(t *testing.T) {
+	eng := sim.New()
+	var proc *Proc
+	phase := 0
+	run := func(p *Proc, cpu int, budget uint64) Outcome {
+		phase++
+		if phase == 1 {
+			return Outcome{Cycles: 50, Instr: 50, Block: true}
+		}
+		return Outcome{Cycles: 50, Instr: 50, Block: true}
+	}
+	s := New(eng, Config{CPUs: 1, QuantumInstr: 1000}, run, nil)
+	proc = &Proc{ID: 1}
+	s.Admit(proc)
+	// Wake it well after it blocks.
+	eng.At(500, func() { s.Wake(proc) })
+	eng.RunUntil(2000)
+	if phase != 2 {
+		t.Fatalf("phase = %d, want resumed after wake", phase)
+	}
+	if s.Stats().Wakeups != 1 {
+		t.Fatalf("wakeups = %d", s.Stats().Wakeups)
+	}
+}
+
+func TestEarlyWakeBeforeBlockLands(t *testing.T) {
+	// A wake arriving while the blocking chunk is still "executing" must
+	// not be lost and must not panic.
+	eng := sim.New()
+	var s *Scheduler
+	phase := 0
+	var proc *Proc
+	run := func(p *Proc, cpu int, budget uint64) Outcome {
+		phase++
+		if phase == 1 {
+			// The resource comes back at cycle 10, chunk ends at 100.
+			eng.At(10, func() { s.Wake(proc) })
+			return Outcome{Cycles: 100, Instr: 100, Block: true}
+		}
+		return Outcome{Cycles: 10, Instr: 10, Block: true}
+	}
+	s = New(eng, Config{CPUs: 1, QuantumInstr: 1000}, run, nil)
+	proc = &Proc{ID: 1}
+	s.Admit(proc)
+	eng.RunUntil(2000)
+	if phase != 2 {
+		t.Fatalf("phase = %d, want immediate resume", phase)
+	}
+}
+
+func TestMultiCPUParallelism(t *testing.T) {
+	eng := sim.New()
+	cpusSeen := map[int]bool{}
+	run := func(p *Proc, cpu int, budget uint64) Outcome {
+		cpusSeen[cpu] = true
+		return Outcome{Cycles: 100, Instr: 100, Block: true}
+	}
+	s := New(eng, Config{CPUs: 4, QuantumInstr: 1000}, run, nil)
+	for i := 0; i < 4; i++ {
+		s.Admit(&Proc{ID: i})
+	}
+	eng.RunUntil(50)
+	if len(cpusSeen) != 4 {
+		t.Fatalf("CPUs used = %d, want 4", len(cpusSeen))
+	}
+}
+
+func TestContextSwitchCostCharged(t *testing.T) {
+	eng := sim.New()
+	switches := 0
+	sw := func(p *Proc, cpu int) sim.Time {
+		switches++
+		return 7
+	}
+	s := New(eng, Config{CPUs: 1, QuantumInstr: 100}, fixedRun(100), sw)
+	s.Admit(&Proc{ID: 1})
+	s.Admit(&Proc{ID: 2})
+	eng.RunUntil(1000)
+	if switches == 0 {
+		t.Fatal("switch callback never invoked")
+	}
+	if uint64(switches) != s.Stats().ContextSwitches {
+		t.Fatalf("callback count %d != stat %d", switches, s.Stats().ContextSwitches)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	eng := sim.New()
+	run := func(p *Proc, cpu int, budget uint64) Outcome {
+		return Outcome{Cycles: 100, Instr: 100, Block: true}
+	}
+	s := New(eng, Config{CPUs: 2, QuantumInstr: 1000}, run, nil)
+	p := &Proc{ID: 1}
+	s.Admit(p)
+	eng.RunUntil(100) // one CPU busy 100 cycles, the other idle
+	if u := s.Utilization(); u < 0.45 || u > 0.55 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+	eng.RunUntil(200) // now both idle
+	if u := s.Utilization(); u < 0.2 || u > 0.3 {
+		t.Fatalf("utilization = %v, want ~0.25", u)
+	}
+}
+
+func TestUtilizationAfterReset(t *testing.T) {
+	eng := sim.New()
+	s := New(eng, Config{CPUs: 1, QuantumInstr: 100}, fixedRun(100), nil)
+	eng.RunUntil(1000) // idle the whole time
+	s.ResetStats()
+	s.Admit(&Proc{ID: 1})
+	eng.RunUntil(2000) // busy the whole second period
+	if u := s.Utilization(); u < 0.95 {
+		t.Fatalf("post-reset utilization = %v, want ~1", u)
+	}
+}
+
+func TestStopHaltsDispatch(t *testing.T) {
+	eng := sim.New()
+	chunks := 0
+	run := func(p *Proc, cpu int, budget uint64) Outcome {
+		chunks++
+		return Outcome{Cycles: 10, Instr: 10}
+	}
+	s := New(eng, Config{CPUs: 1, QuantumInstr: 1000}, run, nil)
+	s.Admit(&Proc{ID: 1})
+	eng.At(35, func() { s.Stop() })
+	eng.RunUntil(1000)
+	if chunks > 5 {
+		t.Fatalf("chunks after stop = %d", chunks)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{{CPUs: 0, QuantumInstr: 10}, {CPUs: 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("want panic for %+v", cfg)
+				}
+			}()
+			New(sim.New(), cfg, fixedRun(1), nil)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for nil run")
+		}
+	}()
+	New(sim.New(), Config{CPUs: 1, QuantumInstr: 1}, nil, nil)
+}
+
+func TestReadyLen(t *testing.T) {
+	eng := sim.New()
+	s := New(eng, Config{CPUs: 1, QuantumInstr: 100}, fixedRun(100), nil)
+	s.Admit(&Proc{ID: 1})
+	s.Admit(&Proc{ID: 2})
+	s.Admit(&Proc{ID: 3})
+	// One dispatched, two queued.
+	if got := s.ReadyLen(); got != 2 {
+		t.Fatalf("ReadyLen = %d", got)
+	}
+}

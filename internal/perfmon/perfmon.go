@@ -1,0 +1,198 @@
+// Package perfmon reproduces the paper's measurement methodology: the
+// Xeon MP's 18 performance counters are organized in 9 pairs, each pair
+// restricted to a subset of events, so EMON samples event groups in a
+// round-robin schedule — each event measured for a fixed window, the
+// whole rotation repeated several times — rather than reading everything
+// at once. The rotation is what gives rare events (like OS-space cycles
+// at small warehouse counts) their sampling error, which the paper calls
+// out in Section 5.1.
+package perfmon
+
+import (
+	"fmt"
+
+	"odbscale/internal/sim"
+	"odbscale/internal/stats"
+)
+
+// Event identifies a performance-monitoring event.
+type Event int
+
+// The events of the paper's Table 2.
+const (
+	Instructions Event = iota
+	BranchMispredictions
+	TLBMiss
+	TCMiss
+	L2Miss
+	L3Miss
+	ClockCycles
+	BusUtilization
+	BusTransactionTime
+	numEvents
+)
+
+// Def describes one event as Table 2 does.
+type Def struct {
+	Alias       string
+	EMONEvent   string
+	Description string
+}
+
+// Table2 lists the performance-monitoring events used in the CPI
+// analysis, with the EMON event names the paper reports.
+var Table2 = map[Event]Def{
+	Instructions:         {"Instructions", "instr_retired", "The number of instructions retired"},
+	BranchMispredictions: {"Branch Mispredictions", "mispred_branch_retired", "The number of mispredicted branches"},
+	TLBMiss:              {"TLB Miss", "page_walk_type", "The number of misses in the TLB"},
+	TCMiss:               {"TC Miss", "BPU_fetch_request", "The number of misses in the Trace Cache"},
+	L2Miss:               {"L2 Miss", "BSU_cache_reference", "The number of misses in the L2 cache"},
+	L3Miss:               {"L3 Miss", "BSU_cache_reference", "The number of misses in the L3 cache"},
+	ClockCycles:          {"Clock Cycles", "Global_power_events", "The number of unhalted clock cycles"},
+	BusUtilization:       {"Bus Utilization", "FSB_data_activity", "The percentage of time the processor bus is transferring data"},
+	BusTransactionTime:   {"Bus-Transaction Time", "IOQ_active_entries & IOQ_allocation", "The average amount of time to complete a bus transaction once it enters the IOQ"},
+}
+
+// Events returns all defined events in Table 2 order.
+func Events() []Event {
+	out := make([]Event, 0, int(numEvents))
+	for e := Event(0); e < numEvents; e++ {
+		out = append(out, e)
+	}
+	return out
+}
+
+func (e Event) String() string {
+	if d, ok := Table2[e]; ok {
+		return d.Alias
+	}
+	return fmt.Sprintf("event(%d)", int(e))
+}
+
+// Source supplies cumulative event counts; the sampler differences
+// successive readings. Instructions and ClockCycles are free-running and
+// read alongside every group (as the fixed counters allow).
+type Source func(e Event) uint64
+
+// Sample is one measured rate observation: events per retired instruction
+// (or per cycle for the bus events).
+type Sample struct {
+	Event Event
+	Value float64
+}
+
+// Result summarizes the repeated observations of one event.
+type Result struct {
+	Event   Event
+	Mean    float64
+	CI95    float64
+	Samples []float64
+}
+
+// Config controls the sampling schedule.
+type Config struct {
+	Groups  [][]Event // counter-pair-compatible event groups
+	Window  sim.Time  // per-group measurement window (the paper: 10 s)
+	Repeats int       // rotations (the paper: 6)
+}
+
+// DefaultConfig mirrors the paper's schedule: events grouped by counter
+// compatibility, ten seconds per event group, six repetitions.
+func DefaultConfig(cyclesPerSecond float64) Config {
+	return Config{
+		Groups: [][]Event{
+			{BranchMispredictions, TLBMiss},
+			{TCMiss, L2Miss},
+			{L3Miss, BusUtilization},
+			{BusTransactionTime},
+		},
+		Window:  sim.Time(10 * cyclesPerSecond),
+		Repeats: 6,
+	}
+}
+
+// Sampler drives the round-robin schedule on a simulation engine.
+type Sampler struct {
+	cfg    Config
+	src    Source
+	engine *sim.Engine
+
+	samples map[Event][]float64
+	done    bool
+}
+
+// NewSampler builds a sampler; Start schedules the measurement.
+func NewSampler(eng *sim.Engine, cfg Config, src Source) *Sampler {
+	if len(cfg.Groups) == 0 || cfg.Repeats < 1 || cfg.Window == 0 {
+		panic("perfmon: bad config")
+	}
+	return &Sampler{cfg: cfg, src: src, engine: eng, samples: make(map[Event][]float64)}
+}
+
+// Start schedules the full rotation beginning at the current simulation
+// time; onDone (if non-nil) runs when the last window closes.
+func (s *Sampler) Start(onDone func()) {
+	type reading struct {
+		counts map[Event]uint64
+		instr  uint64
+	}
+	read := func(group []Event) reading {
+		r := reading{counts: make(map[Event]uint64, len(group)), instr: s.src(Instructions)}
+		for _, e := range group {
+			r.counts[e] = s.src(e)
+		}
+		return r
+	}
+	var at sim.Time
+	total := s.cfg.Repeats * len(s.cfg.Groups)
+	n := 0
+	for rep := 0; rep < s.cfg.Repeats; rep++ {
+		for _, group := range s.cfg.Groups {
+			group := group
+			start := at
+			s.engine.At(s.engine.Now()+start, func() {
+				begin := read(group)
+				s.engine.After(s.cfg.Window, func() {
+					end := read(group)
+					dInstr := float64(end.instr - begin.instr)
+					for _, e := range group {
+						delta := float64(end.counts[e] - begin.counts[e])
+						var rate float64
+						switch e {
+						case BusUtilization, BusTransactionTime:
+							// Already a level metric: sample the end value.
+							rate = float64(end.counts[e])
+						default:
+							if dInstr > 0 {
+								rate = delta / dInstr
+							}
+						}
+						s.samples[e] = append(s.samples[e], rate)
+					}
+					n++
+					if n == total {
+						s.done = true
+						if onDone != nil {
+							onDone()
+						}
+					}
+				})
+			})
+			at += s.cfg.Window
+		}
+	}
+}
+
+// Done reports whether every window has closed.
+func (s *Sampler) Done() bool { return s.done }
+
+// Result returns the aggregated observations for one event.
+func (s *Sampler) Result(e Event) Result {
+	xs := s.samples[e]
+	return Result{Event: e, Mean: stats.Mean(xs), CI95: stats.CI95(xs), Samples: xs}
+}
+
+// Duration returns the simulated time one full rotation takes.
+func (s *Sampler) Duration() sim.Time {
+	return sim.Time(s.cfg.Repeats*len(s.cfg.Groups)) * s.cfg.Window
+}

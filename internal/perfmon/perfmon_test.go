@@ -1,0 +1,154 @@
+package perfmon
+
+import (
+	"math"
+	"testing"
+
+	"odbscale/internal/sim"
+	"odbscale/internal/xrand"
+)
+
+// fakeMachine advances counters at configurable rates per cycle with
+// optional noise, driven by explicit Advance calls.
+type fakeMachine struct {
+	counts map[Event]uint64
+	rates  map[Event]float64
+	rng    *xrand.Rand
+	noise  float64
+}
+
+func newFake(noise float64) *fakeMachine {
+	return &fakeMachine{
+		counts: make(map[Event]uint64),
+		rates: map[Event]float64{
+			Instructions:         0.5, // per cycle
+			BranchMispredictions: 0.002,
+			TLBMiss:              0.0005,
+			TCMiss:               0.001,
+			L2Miss:               0.004,
+			L3Miss:               0.0025,
+			ClockCycles:          1,
+		},
+		rng:   xrand.New(1),
+		noise: noise,
+	}
+}
+
+func (f *fakeMachine) Advance(cycles uint64) {
+	for e, r := range f.rates {
+		jitter := 1.0
+		if f.noise > 0 {
+			jitter = 1 + f.noise*(f.rng.Float64()*2-1)
+		}
+		f.counts[e] += uint64(float64(cycles) * r * jitter)
+	}
+	f.counts[BusTransactionTime] = 110
+	f.counts[BusUtilization] = 25
+}
+
+func (f *fakeMachine) Source(e Event) uint64 { return f.counts[e] }
+
+func TestTable2Complete(t *testing.T) {
+	for _, e := range Events() {
+		d, ok := Table2[e]
+		if !ok || d.Alias == "" || d.EMONEvent == "" || d.Description == "" {
+			t.Fatalf("Table 2 entry incomplete for %v", e)
+		}
+	}
+	if len(Events()) != 9 {
+		t.Fatalf("Table 2 has %d events, want 9", len(Events()))
+	}
+	if Event(99).String() == "" {
+		t.Fatal("unknown event name empty")
+	}
+}
+
+func TestSamplerMeasuresRates(t *testing.T) {
+	eng := sim.New()
+	fake := newFake(0)
+	cfg := DefaultConfig(1000) // tiny "second" for test speed
+	s := NewSampler(eng, cfg, fake.Source)
+	finished := false
+	s.Start(func() { finished = true })
+
+	// Drive the machine forward in lockstep with the engine.
+	deadline := s.Duration()
+	var now sim.Time
+	for now < deadline {
+		eng.RunUntil(now + 1000)
+		fake.Advance(1000)
+		now += 1000
+	}
+	eng.RunUntil(deadline + 1)
+	if !finished || !s.Done() {
+		t.Fatal("sampler never finished")
+	}
+
+	// Mispredict rate per instruction = 0.002/0.5 = 0.004.
+	r := s.Result(BranchMispredictions)
+	if math.Abs(r.Mean-0.004) > 1e-6 {
+		t.Fatalf("mispredict rate = %v, want 0.004", r.Mean)
+	}
+	if len(r.Samples) != cfg.Repeats {
+		t.Fatalf("samples = %d, want %d", len(r.Samples), cfg.Repeats)
+	}
+	if r.CI95 > 1e-9 {
+		t.Fatalf("noiseless CI = %v, want 0", r.CI95)
+	}
+	// Level metrics sample the instantaneous value.
+	if bt := s.Result(BusTransactionTime); bt.Mean != 110 {
+		t.Fatalf("bus time = %v", bt.Mean)
+	}
+}
+
+func TestSamplerNoiseProducesCI(t *testing.T) {
+	eng := sim.New()
+	fake := newFake(0.3)
+	s := NewSampler(eng, DefaultConfig(1000), fake.Source)
+	s.Start(nil)
+	deadline := s.Duration()
+	var now sim.Time
+	for now < deadline {
+		eng.RunUntil(now + 1000)
+		fake.Advance(1000)
+		now += 1000
+	}
+	eng.RunUntil(deadline + 1)
+	r := s.Result(L3Miss)
+	if r.CI95 <= 0 {
+		t.Fatalf("noisy source produced zero CI: %+v", r)
+	}
+}
+
+func TestSamplerSchedule(t *testing.T) {
+	eng := sim.New()
+	fake := newFake(0)
+	cfg := Config{Groups: [][]Event{{L3Miss}, {TCMiss}}, Window: 100, Repeats: 3}
+	s := NewSampler(eng, cfg, fake.Source)
+	s.Start(nil)
+	if s.Duration() != 600 {
+		t.Fatalf("Duration = %d, want 600", s.Duration())
+	}
+	var now sim.Time
+	for now < 600 {
+		eng.RunUntil(now + 100)
+		fake.Advance(100)
+		now += 100
+	}
+	eng.RunUntil(601)
+	if got := len(s.Result(L3Miss).Samples); got != 3 {
+		t.Fatalf("L3 samples = %d, want 3", got)
+	}
+	if got := len(s.Result(TCMiss).Samples); got != 3 {
+		t.Fatalf("TC samples = %d, want 3", got)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewSampler(sim.New(), Config{}, func(Event) uint64 { return 0 })
+}

@@ -1,0 +1,130 @@
+// Package sim provides the discrete-event simulation core that drives the
+// whole machine model. Time is measured in CPU clock cycles (the paper's
+// Xeon runs at 1.6 GHz, so one simulated second is 1.6e9 cycles). Events
+// are callbacks scheduled at absolute cycle times and dispatched in time
+// order; ties are broken by scheduling order so runs are deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an absolute simulation time in CPU cycles.
+type Time uint64
+
+// Event is a scheduled callback.
+type Event struct {
+	when     Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when not queued
+}
+
+// Cancel prevents a pending event from running. Canceling an event that
+// has already fired is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// When returns the time the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator instance.
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventQueue
+}
+
+// New returns an empty engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug, never a recoverable condition.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) *Event { return e.At(e.now+d, fn) }
+
+// Step dispatches the next pending event, if any, and reports whether one ran.
+// Canceled events are discarded without running.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.when
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil dispatches events until the queue is empty or the next event is
+// after the deadline; the clock is then advanced to the deadline. It
+// returns the number of events dispatched.
+func (e *Engine) RunUntil(deadline Time) int {
+	n := 0
+	for len(e.queue) > 0 {
+		// Peek.
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.when > deadline {
+			break
+		}
+		e.Step()
+		n++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+// Pending returns the number of queued (non-dispatched) events, including
+// canceled ones not yet discarded.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	for e.Step() {
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	for e.Step() {
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	fired := Time(0)
+	e.At(100, func() {
+		e.After(50, func() { fired = e.Now() })
+	})
+	for e.Step() {
+	}
+	if fired != 150 {
+		t.Fatalf("After fired at %d, want 150", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	ran := false
+	ev := e.At(10, func() { ran = true })
+	ev.Cancel()
+	for e.Step() {
+	}
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.At(100, func() {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic scheduling in the past")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.At(Time(i*10), func() { count++ })
+	}
+	n := e.RunUntil(35)
+	if n != 3 || count != 3 {
+		t.Fatalf("RunUntil dispatched %d (count %d), want 3", n, count)
+	}
+	if e.Now() != 35 {
+		t.Fatalf("Now = %d, want 35 (advance to deadline)", e.Now())
+	}
+	n = e.RunUntil(100)
+	if n != 2 || count != 5 {
+		t.Fatalf("second RunUntil dispatched %d, want 2", n)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+}
+
+func TestRunUntilDiscardsCanceled(t *testing.T) {
+	e := New()
+	ev := e.At(10, func() { t.Fatal("canceled event ran") })
+	ev.Cancel()
+	if n := e.RunUntil(100); n != 0 {
+		t.Fatalf("dispatched %d canceled events", n)
+	}
+}
+
+// Property: events fire in nondecreasing time order regardless of the
+// insertion order, including events scheduled from inside events.
+func TestMonotonicDispatchQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var times []Time
+		record := func() { times = append(times, e.Now()) }
+		for i := 0; i < 50; i++ {
+			when := Time(rng.Intn(1000))
+			e.At(when, func() {
+				record()
+				if rng.Intn(3) == 0 {
+					e.After(Time(rng.Intn(100)), record)
+				}
+			})
+		}
+		for e.Step() {
+		}
+		return sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventWhen(t *testing.T) {
+	e := New()
+	ev := e.At(42, func() {})
+	if ev.When() != 42 {
+		t.Fatalf("When = %d", ev.When())
+	}
+}

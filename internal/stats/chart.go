@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders one or more series as a text line chart — enough to see
+// the shapes the paper's figures show (rising, falling, knees, spreads)
+// directly in terminal output and EXPERIMENTS.md.
+type Chart struct {
+	Title  string
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+	YFmt   string
+}
+
+var chartMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the series over a shared x/y range. Each series gets its
+// own mark; overlapping points show the earlier series' mark.
+func (c Chart) Render(series ...Series) string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	yfmt := c.YFmt
+	if yfmt == "" {
+		yfmt = "%10.4g"
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			any = true
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if !any {
+		return c.Title + " (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Pad the y range slightly so extremes stay visible.
+	pad := (maxY - minY) * 0.05
+	minY -= pad
+	maxY += pad
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		mark := chartMarks[si%len(chartMarks)]
+		for _, p := range s.Points {
+			col := int(float64(w-1) * (p.X - minX) / (maxX - minX))
+			row := int(float64(h-1) * (maxY - p.Y) / (maxY - minY))
+			if grid[row][col] == ' ' {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title + "\n")
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", 10)
+		switch i {
+		case 0:
+			label = fmt.Sprintf(yfmt, maxY)
+		case h - 1:
+			label = fmt.Sprintf(yfmt, minY)
+		case (h - 1) / 2:
+			label = fmt.Sprintf(yfmt, (maxY+minY)/2)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-10.4g%s%10.4g\n", strings.Repeat(" ", 10), minX,
+		strings.Repeat(" ", max(0, w-20)), maxX)
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", chartMarks[si%len(chartMarks)], s.Name))
+	}
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 10), strings.Join(legend, "   "))
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

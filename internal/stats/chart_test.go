@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersShapes(t *testing.T) {
+	var up, down Series
+	up.Name = "up"
+	down.Name = "down"
+	for x := 0.0; x <= 10; x++ {
+		up.Add(x, x*x)
+		down.Add(x, 100-x*x)
+	}
+	out := Chart{Title: "shapes", Width: 40, Height: 10}.Render(up, down)
+	if !strings.Contains(out, "shapes") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Title + 10 rows + axis + x labels + legend.
+	if len(lines) < 14 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("no marks drawn")
+	}
+}
+
+func TestChartMonotoneSeriesTopRight(t *testing.T) {
+	var s Series
+	s.Name = "rise"
+	for x := 0.0; x < 8; x++ {
+		s.Add(x, x)
+	}
+	out := Chart{Width: 32, Height: 8}.Render(s)
+	rows := strings.Split(out, "\n")
+	first := rows[0]
+	last := rows[7]
+	// Highest value appears on the top row to the right, lowest on the
+	// bottom row to the left.
+	if !strings.Contains(first, "*") || strings.Index(first, "*") < strings.Index(last, "*") {
+		t.Fatalf("rising series not rendered rising:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart{Title: "empty"}.Render(Series{Name: "none"})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	var s Series
+	s.Name = "flat"
+	s.Add(1, 5)
+	s.Add(2, 5)
+	out := Chart{Width: 20, Height: 6}.Render(s)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series vanished:\n%s", out)
+	}
+}

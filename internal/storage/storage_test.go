@@ -1,0 +1,199 @@
+package storage
+
+import (
+	"testing"
+
+	"odbscale/internal/sim"
+	"odbscale/internal/xrand"
+)
+
+func testArray(dataDisks int) (*Array, *sim.Engine) {
+	eng := sim.New()
+	cfg := DefaultConfig()
+	cfg.DataDisks = dataDisks
+	cfg.Jitter = 0 // deterministic service times for assertions
+	return New(cfg, eng, xrand.New(1)), eng
+}
+
+func TestReadCompletes(t *testing.T) {
+	a, eng := testArray(4)
+	done := false
+	a.Read(7, func() { done = true })
+	for eng.Step() {
+	}
+	if !done {
+		t.Fatal("read never completed")
+	}
+	s := a.StatsNow()
+	if s.Reads != 1 {
+		t.Fatalf("Reads = %d", s.Reads)
+	}
+	// Service = (AccessMS + TransferMS) * CyclesPerMS.
+	cfg := DefaultConfig()
+	want := (cfg.AccessMS + cfg.TransferMS) * cfg.CyclesPerMS
+	if s.MeanReadLatency() != want {
+		t.Fatalf("latency = %v, want %v", s.MeanReadLatency(), want)
+	}
+}
+
+func TestQueueingDelay(t *testing.T) {
+	a, eng := testArray(1) // single disk: second read queues behind first
+	var completions []sim.Time
+	for i := 0; i < 2; i++ {
+		a.Read(0, func() { completions = append(completions, eng.Now()) })
+	}
+	for eng.Step() {
+	}
+	if len(completions) != 2 {
+		t.Fatalf("completions = %v", completions)
+	}
+	if completions[1] != 2*completions[0] {
+		t.Fatalf("no FCFS queueing: %v", completions)
+	}
+	s := a.StatsNow()
+	// Second read's latency includes the wait: mean = (svc + 2*svc)/2.
+	cfg := DefaultConfig()
+	svc := (cfg.AccessMS + cfg.TransferMS) * cfg.CyclesPerMS
+	if got, want := s.MeanReadLatency(), 1.5*svc; got != want {
+		t.Fatalf("mean latency = %v, want %v", got, want)
+	}
+}
+
+func TestStriping(t *testing.T) {
+	a, eng := testArray(4)
+	// Blocks 0..3 hit distinct disks, so all complete at the same time.
+	var times []sim.Time
+	for b := uint64(0); b < 4; b++ {
+		a.Read(b, func() { times = append(times, eng.Now()) })
+	}
+	for eng.Step() {
+	}
+	for _, x := range times[1:] {
+		if x != times[0] {
+			t.Fatalf("striped reads serialized: %v", times)
+		}
+	}
+}
+
+func TestUtilizationAndSaturation(t *testing.T) {
+	a, eng := testArray(2)
+	a.ResetStats()
+	for i := 0; i < 100; i++ {
+		a.Read(uint64(i), nil)
+	}
+	for eng.Step() {
+	}
+	s := a.StatsNow()
+	if u := s.Utilization(a.DataDisks()); u < 0.99 {
+		t.Fatalf("utilization = %v, want ~1 under backlog", u)
+	}
+	if s.MaxQueue < 40 {
+		t.Fatalf("MaxQueue = %d, want deep queues", s.MaxQueue)
+	}
+}
+
+func TestWritesDoNotBlockReads(t *testing.T) {
+	// Writes on other disks shouldn't delay a read on its own disk.
+	a, eng := testArray(2)
+	for i := 0; i < 10; i++ {
+		a.Write(1) // all on disk 1
+	}
+	var readDone sim.Time
+	a.Read(0, func() { readDone = eng.Now() })
+	for eng.Step() {
+	}
+	cfg := DefaultConfig()
+	if readDone != sim.Time((cfg.AccessMS+cfg.TransferMS)*cfg.CyclesPerMS) {
+		t.Fatalf("read delayed by writes on other disk: %d", readDone)
+	}
+	if got := a.StatsNow().Writes; got != 10 {
+		t.Fatalf("Writes = %d", got)
+	}
+}
+
+func TestLogWriteDurability(t *testing.T) {
+	a, eng := testArray(2)
+	durable := false
+	a.LogWrite(1, func() { durable = true })
+	a.LogWrite(1, nil) // fire-and-forget on the other log device
+	for eng.Step() {
+	}
+	if !durable {
+		t.Fatal("log write callback never ran")
+	}
+	if got := a.StatsNow().LogWrites; got != 2 {
+		t.Fatalf("LogWrites = %d", got)
+	}
+}
+
+func TestLogRoundRobin(t *testing.T) {
+	a, eng := testArray(2)
+	// Two log writes to two devices complete simultaneously.
+	var times []sim.Time
+	a.LogWrite(1, func() { times = append(times, eng.Now()) })
+	a.LogWrite(1, func() { times = append(times, eng.Now()) })
+	for eng.Step() {
+	}
+	if len(times) != 2 || times[0] != times[1] {
+		t.Fatalf("log devices not round-robin: %v", times)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	a, eng := testArray(2)
+	a.Read(0, nil)
+	for eng.Step() {
+	}
+	a.ResetStats()
+	s := a.StatsNow()
+	if s.Reads != 0 || s.BusyCycles != 0 {
+		t.Fatalf("stats survived reset: %+v", s)
+	}
+}
+
+func TestStatsZeroValues(t *testing.T) {
+	var s Stats
+	if s.MeanReadLatency() != 0 || s.Utilization(4) != 0 {
+		t.Fatal("zero stats should report zeros")
+	}
+	s = Stats{BusyCycles: 100, Elapsed: 10}
+	if s.Utilization(1) != 1 {
+		t.Fatalf("over-busy utilization = %v, want clamped", s.Utilization(1))
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for zero disks")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.DataDisks = 0
+	New(cfg, sim.New(), xrand.New(1))
+}
+
+func TestJitterVariesServiceTimes(t *testing.T) {
+	eng := sim.New()
+	cfg := DefaultConfig()
+	cfg.DataDisks = 1
+	cfg.Jitter = 0.5
+	a := New(cfg, eng, xrand.New(2))
+	var times []sim.Time
+	prev := sim.Time(0)
+	for i := 0; i < 20; i++ {
+		a.Read(0, func() {
+			times = append(times, eng.Now()-prev)
+			prev = eng.Now()
+		})
+	}
+	for eng.Step() {
+	}
+	distinct := map[sim.Time]bool{}
+	for _, d := range times {
+		distinct[d] = true
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("jittered service times look constant: %d distinct", len(distinct))
+	}
+}

@@ -1,0 +1,56 @@
+package system
+
+import "testing"
+
+// smtConfig enables two hardware threads per processor.
+func smtConfig(w, c, p int) Config {
+	cfg := fastConfig(w, c, p)
+	cfg.Machine.SMT = 2
+	return cfg
+}
+
+func TestSMTImprovesThroughput(t *testing.T) {
+	// Hyper-Threading on a CPU-bound cached setup: two threads per core
+	// hide stalls and should buy a meaningful but sub-2x gain.
+	off := run(t, fastConfig(25, 16, 2))
+	on := run(t, smtConfig(25, 16, 2))
+	gain := on.TPS / off.TPS
+	if gain < 1.02 {
+		t.Fatalf("SMT gain = %.2fx, want an improvement", gain)
+	}
+	if gain > 1.9 {
+		t.Fatalf("SMT gain = %.2fx, want clearly sub-linear", gain)
+	}
+}
+
+func TestSMTSharesCaches(t *testing.T) {
+	// Co-resident threads share the L3, so MPI should not drop and will
+	// typically rise slightly from cross-thread interference.
+	off := run(t, fastConfig(100, 24, 4))
+	on := run(t, smtConfig(100, 24, 4))
+	if on.MPI < off.MPI*0.9 {
+		t.Fatalf("SMT lowered MPI: %v -> %v", off.MPI, on.MPI)
+	}
+}
+
+func TestSMTIronLawStillHolds(t *testing.T) {
+	m := run(t, smtConfig(40, 16, 2))
+	// With 2 threads per core, the iron law's P counts logical contexts:
+	// utilization and CPI are measured per logical CPU.
+	predicted := m.CPUUtil * float64(2*2) * 1.6e9 / (m.IPX * m.CPI)
+	if rel := (predicted - m.TPS) / m.TPS; rel > 0.02 || rel < -0.02 {
+		t.Fatalf("iron law off by %.2f%% under SMT", rel*100)
+	}
+}
+
+func TestSMTSlowdownAppliesOnlyWhenShared(t *testing.T) {
+	// With a single client, the sibling thread is idle, so SMT mode must
+	// not slow the lone process down materially.
+	off := run(t, fastConfig(10, 1, 1))
+	cfg := fastConfig(10, 1, 1)
+	cfg.Machine.SMT = 2
+	on := run(t, cfg)
+	if ratio := on.TPS / off.TPS; ratio < 0.93 {
+		t.Fatalf("idle sibling slowed the core: %.2fx", ratio)
+	}
+}

@@ -1,0 +1,601 @@
+package system
+
+import (
+	"fmt"
+	"sort"
+
+	"odbscale/internal/buffercache"
+	"odbscale/internal/bus"
+	"odbscale/internal/cache"
+	"odbscale/internal/cpu"
+	"odbscale/internal/odb"
+	"odbscale/internal/osker"
+	"odbscale/internal/sim"
+	"odbscale/internal/storage"
+	"odbscale/internal/workload"
+	"odbscale/internal/xrand"
+)
+
+// serverProc is the per-process payload: the ODB server process state.
+type serverProc struct {
+	txn       *odb.Txn
+	opIdx     int
+	pendingOS uint64
+	carry     []odb.BlockID // blocks installed by I/O since the last chunk
+	dbWriter  bool
+}
+
+// machine is one fully assembled simulation instance.
+type machine struct {
+	cfg    Config
+	eng    *sim.Engine
+	rng    *xrand.Rand
+	layout *odb.Layout
+	gen    *odb.Generator
+	bc     *buffercache.Cache
+	lm     *odb.LockManager
+	disks  *storage.Array
+	fsb    *bus.Bus
+	domain *cache.Domain
+	synth  *workload.Synth
+	sched  *osker.Scheduler
+
+	cyclesPerMS float64
+	smt         int
+
+	ctr     counters
+	onReset func() // armed by RunEMON at measurement start
+
+	measuring bool
+	wantReset bool
+	resetAt   sim.Time
+	txns      uint64 // measured commits
+	totalTxns uint64
+	user, os  modeAccum
+	logBytes  float64
+	evictWr   uint64
+	busyWaits uint64
+
+	// inflight tracks blocks with an outstanding disk read; later missers
+	// join the waiter list instead of issuing a duplicate read.
+	inflight map[odb.BlockID][]ioWaiter
+}
+
+type ioWaiter struct {
+	proc  *osker.Proc
+	sp    *serverProc
+	write bool
+}
+
+func errBadConfig(cfg Config) error {
+	return fmt.Errorf("system: bad configuration W=%d C=%d P=%d",
+		cfg.Warehouses, cfg.Clients, cfg.Processors)
+}
+
+func errNoTxns() error { return fmt.Errorf("system: MeasureTxns must be positive") }
+
+// capSimCycles bounds a run to 300 simulated seconds, so I/O-bound
+// configurations that cannot reach the transaction target still finish.
+func capSimCycles(cfg Config) sim.Time {
+	return sim.Time(300 * cfg.Machine.FreqHz)
+}
+
+// Run executes one configuration and returns its metrics.
+func Run(cfg Config) (Metrics, error) {
+	if cfg.Warehouses < 1 || cfg.Clients < 1 || cfg.Processors < 1 {
+		return Metrics{}, errBadConfig(cfg)
+	}
+	if cfg.MeasureTxns < 1 {
+		return Metrics{}, errNoTxns()
+	}
+	m := build(cfg)
+	m.prefill()
+	m.start()
+	m.drive()
+	return m.metrics(), nil
+}
+
+func build(cfg Config) *machine {
+	t := cfg.Tuning
+	eng := sim.New()
+	rng := xrand.New(cfg.Seed)
+	layout := odb.NewLayout(cfg.Warehouses)
+	gen := odb.NewGenerator(layout, rng.Split(1))
+	gen.StockLevelScan = t.StockLevelScan
+
+	capBlocks := cfg.Machine.BufferCacheMB * (1 << 20) / odb.BlockSize
+	bc := buffercache.New(buffercache.Config{Blocks: capBlocks})
+
+	diskCfg := cfg.Machine.Disks
+	diskCfg.CyclesPerMS = cfg.Machine.FreqHz / 1e3
+	disks := storage.New(diskCfg, eng, rng.Split(2))
+
+	smt := cfg.Machine.SMT
+	if smt < 1 {
+		smt = 1
+	}
+	logical := cfg.Processors * smt
+
+	fsb := bus.New(cfg.Machine.Bus, float64(t.Scale))
+	geo := workload.ScaledGeometry(cfg.Machine.Geometry, t.Scale)
+	domain := cache.NewDomain(geo, cfg.Processors, cfg.Coherent)
+	synthCfg := t.Synth
+	synthCfg.Scale = t.Scale
+	synthCfg.HotSetBytes = t.HotBytesPerWhs * cfg.Warehouses
+	synthCfg.LogicalCPUs = logical
+	synth := workload.New(synthCfg, domain, fsb, rng.Split(3))
+	if smt > 1 {
+		synth.SetCPUMap(func(l int) int { return l / smt })
+	}
+
+	m := &machine{
+		cfg:         cfg,
+		eng:         eng,
+		rng:         rng.Split(4),
+		layout:      layout,
+		gen:         gen,
+		bc:          bc,
+		lm:          odb.NewLockManager(),
+		disks:       disks,
+		fsb:         fsb,
+		domain:      domain,
+		synth:       synth,
+		cyclesPerMS: cfg.Machine.FreqHz / 1e3,
+	}
+	m.ctr.scale = t.Scale
+	m.smt = smt
+	m.inflight = make(map[odb.BlockID][]ioWaiter)
+	m.sched = osker.New(eng, osker.Config{CPUs: logical, QuantumInstr: t.QuantumInstr},
+		m.runChunk, m.contextSwitch)
+	return m
+}
+
+// smtFactor returns the per-thread cycle multiplier for a chunk running
+// on the given logical CPU: hardware threads sharing a core split its
+// issue bandwidth while both are busy.
+func (m *machine) smtFactor(cpuID int) float64 {
+	if m.smt < 2 {
+		return 1
+	}
+	core := cpuID / m.smt
+	for t := 0; t < m.smt; t++ {
+		sibling := core*m.smt + t
+		if sibling != cpuID && m.sched.Busy(sibling) {
+			slow := m.cfg.Machine.SMTSlowdown
+			if slow < 1 {
+				slow = 1
+			}
+			return slow
+		}
+	}
+	return 1
+}
+
+// contentionProb returns the probability that a hot-block access finds the
+// block busy. Only processes actually on CPU or runnable contend for block
+// latches — clients sleeping on disk I/O do not — so the probability uses
+// the instantaneous runnable count over the warehouse-scaled hot-block
+// population. This produces the paper's Figure 8 shape: severe contention
+// when a cached setup concentrates all clients on few blocks, vanishing as
+// warehouses grow and clients increasingly wait on I/O instead.
+func (m *machine) contentionProb() float64 {
+	t := &m.cfg.Tuning
+	runnable := float64(m.cfg.Processors + m.sched.ReadyLen())
+	hot := t.HotBlocksPerWhs * float64(m.cfg.Warehouses)
+	p := t.ContentionAlpha * (runnable - 1) / hot
+	if p > t.ContentionCap {
+		p = t.ContentionCap
+	}
+	return p
+}
+
+// prefill loads the buffer cache with the blocks a steady-state run keeps
+// resident: all of them when the database fits, otherwise the most
+// frequently touched blocks of a generator sample, ranked by frequency.
+func (m *machine) prefill() {
+	total := m.layout.TotalBlocks()
+	capacity := uint64(m.bc.Capacity())
+	install := func(b odb.BlockID) {
+		e, _ := m.bc.Install(b)
+		m.bc.Release(e)
+	}
+	if total <= capacity {
+		for b := uint64(0); b < total; b++ {
+			install(odb.BlockID(b))
+		}
+		m.bc.ResetStats()
+		return
+	}
+	sample := odb.NewGenerator(m.layout, xrand.New(m.cfg.Seed).Split(77))
+	sample.StockLevelScan = m.cfg.Tuning.StockLevelScan
+	freq := make(map[odb.BlockID]uint32)
+	for i := 0; i < m.cfg.Tuning.PrefillSampleTxns; i++ {
+		txn := sample.Next(i % m.cfg.Clients)
+		for _, op := range txn.Ops {
+			if op.Kind == odb.OpRead || op.Kind == odb.OpWrite {
+				freq[op.Block]++
+			}
+		}
+	}
+	type bf struct {
+		b odb.BlockID
+		f uint32
+	}
+	ranked := make([]bf, 0, len(freq))
+	for b, f := range freq {
+		ranked = append(ranked, bf{b, f})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].f != ranked[j].f {
+			return ranked[i].f > ranked[j].f
+		}
+		return ranked[i].b < ranked[j].b
+	})
+	if uint64(len(ranked)) > capacity {
+		ranked = ranked[:capacity]
+	}
+	// Fill any remaining capacity with unsampled blocks in extent order:
+	// classes like customers have near-uniform popularity, so in steady
+	// state the cache holds as many of them as fit — which subset does
+	// not matter. Install these coldest first, then the ranked blocks,
+	// least popular first, so the hottest end at the MRU end.
+	if extra := capacity - uint64(len(ranked)); extra > 0 {
+		for b := uint64(0); b < total && extra > 0; b++ {
+			if _, seen := freq[odb.BlockID(b)]; !seen {
+				install(odb.BlockID(b))
+				extra--
+			}
+		}
+	}
+	for i := len(ranked) - 1; i >= 0; i-- {
+		install(ranked[i].b)
+	}
+	m.bc.ResetStats()
+}
+
+// start admits the server processes and the DB writer.
+func (m *machine) start() {
+	for i := 0; i < m.cfg.Clients; i++ {
+		m.sched.Admit(&osker.Proc{ID: i, Data: &serverProc{}})
+	}
+	dbw := &osker.Proc{ID: m.cfg.Clients, Data: &serverProc{dbWriter: true}}
+	m.sched.Admit(dbw)
+	interval := sim.Time(m.cfg.Tuning.DBWriterIntervalMS * m.cyclesPerMS)
+	var tick func()
+	tick = func() {
+		if dbw.State() == osker.Blocked {
+			m.sched.Wake(dbw)
+		}
+		m.eng.After(interval, tick)
+	}
+	m.eng.After(interval, tick)
+}
+
+// drive steps the simulation until the measurement target or the safety
+// cap is reached.
+func (m *machine) drive() {
+	capCycles := capSimCycles(m.cfg)
+	for m.eng.Step() {
+		if m.txns >= uint64(m.cfg.MeasureTxns) {
+			break
+		}
+		if m.eng.Now() > capCycles {
+			break
+		}
+	}
+	m.sched.Stop()
+}
+
+// isHot reports whether a block op targets contended structures: district
+// rows and the append regions of orders, order lines, new-orders and
+// history — the block-level hot spots behind the paper's Figure 8 spike
+// at small warehouse counts.
+func (m *machine) isHot(op *odb.Op) bool {
+	if op.Kind != odb.OpWrite {
+		return false
+	}
+	switch m.layout.TableOf(op.Block) {
+	case odb.TableWarehouse, odb.TableDistrict, odb.TableOrder,
+		odb.TableNewOrder, odb.TableOrderLine, odb.TableHistory:
+		return true
+	}
+	return false
+}
+
+// runChunk executes the next chunk of a process: it advances the
+// transaction program until a blocking point or the chunk budget, then
+// synthesizes the chunk's microarchitectural activity and prices it.
+func (m *machine) runChunk(p *osker.Proc, cpuID int, budget uint64) osker.Outcome {
+	if m.wantReset && !m.measuring {
+		m.reset()
+	}
+	sp := p.Data.(*serverProc)
+	if sp.dbWriter {
+		return m.runDBWriter(p, cpuID)
+	}
+	t := &m.cfg.Tuning
+
+	chunkCap := t.ChunkInstr
+	if budget < chunkCap {
+		chunkCap = budget
+	}
+	var userInstr uint64
+	osInstr := sp.pendingOS
+	sp.pendingOS = 0
+	blocks := sp.carry
+	sp.carry = nil
+	blocked := false
+
+loop:
+	for userInstr < chunkCap {
+		if sp.txn == nil {
+			sp.txn = m.gen.Next(p.ID)
+			sp.opIdx = 0
+			osInstr += t.PerTxnOSInstr
+		}
+		op := &sp.txn.Ops[sp.opIdx]
+		userInstr += op.Instr
+		switch op.Kind {
+		case odb.OpRead, odb.OpWrite:
+			write := op.Kind == odb.OpWrite
+			if e := m.bc.Lookup(op.Block); e != nil {
+				if write {
+					m.bc.MarkDirty(e)
+				}
+				m.bc.Release(e)
+				blocks = append(blocks, op.Block)
+				if m.isHot(op) && m.rng.Bernoulli(m.contentionProb()) {
+					// Buffer busy wait: another process holds the block.
+					if m.measuring {
+						m.busyWaits++
+					}
+					sp.opIdx++
+					wait := sim.Time(m.rng.Exp(t.BusyWaitMS) * m.cyclesPerMS)
+					proc := p
+					m.eng.After(wait, func() { m.sched.Wake(proc) })
+					blocked = true
+					break loop
+				}
+			} else {
+				// Buffer cache miss: join or start a disk read, and sleep.
+				sp.opIdx++
+				block := op.Block
+				waiters, pending := m.inflight[block]
+				m.inflight[block] = append(waiters, ioWaiter{proc: p, sp: sp, write: write})
+				if !pending {
+					osInstr += t.IOIssueInstr
+					m.disks.Read(uint64(block), func() { m.readDone(block) })
+				} else {
+					osInstr += 2000 // buffer-wait path; the read is in flight
+				}
+				blocked = true
+				break loop
+			}
+		case odb.OpLock:
+			proc := p
+			if !m.lm.Acquire(op.Res, p.ID, func() { m.sched.Wake(proc) }) {
+				sp.opIdx++
+				osInstr += 2000 // semaphore sleep path
+				blocked = true
+				break loop
+			}
+		case odb.OpUnlock:
+			m.lm.Release(op.Res, p.ID)
+		case odb.OpLog:
+			kb := (op.Bytes + 1023) / 1024
+			osInstr += t.LogInstrPerKB * uint64(kb)
+			m.disks.LogWrite(1, nil)
+			if m.measuring {
+				m.logBytes += float64(op.Bytes)
+			}
+		case odb.OpCommit:
+			m.commit()
+			sp.txn = nil
+			sp.opIdx = 0
+			continue loop // opIdx already reset; skip the increment
+		}
+		sp.opIdx++
+	}
+
+	cycles := m.price(cpuID, p.ID, userInstr, osInstr, blocks)
+	return osker.Outcome{Cycles: cycles, Instr: userInstr + osInstr, Block: blocked}
+}
+
+// readDone installs a completed disk read and wakes every waiter.
+func (m *machine) readDone(block odb.BlockID) {
+	t := &m.cfg.Tuning
+	waiters := m.inflight[block]
+	delete(m.inflight, block)
+	e, ev := m.bc.Install(block)
+	for _, w := range waiters {
+		if w.write {
+			m.bc.MarkDirty(e)
+		}
+	}
+	m.bc.Release(e)
+	if ev != nil && ev.Dirty {
+		m.disks.Write(uint64(ev.ID))
+		m.evictWrite()
+		if len(waiters) > 0 {
+			waiters[0].sp.pendingOS += t.DBWriterInstr
+		}
+	}
+	m.fsb.Posted(m.eng.Now(), float64(odb.BlockSize)/64) // DMA into the SGA
+	for _, w := range waiters {
+		w.sp.pendingOS += t.IOCompleteInstr
+		w.sp.carry = append(w.sp.carry, block)
+		m.sched.Wake(w.proc)
+	}
+}
+
+// runDBWriter executes one DB-writer activation: write back a batch of
+// aged dirty blocks, then sleep until the next timer tick.
+func (m *machine) runDBWriter(p *osker.Proc, cpuID int) osker.Outcome {
+	t := &m.cfg.Tuning
+	var osInstr uint64 = 2_000 // scan overhead
+	var blocks []odb.BlockID
+	dirtyTrigger := int(t.DirtyHighWater * float64(m.bc.Capacity()))
+	if m.bc.DirtyCount() > dirtyTrigger {
+		ids := m.bc.CleanAged(t.DBWriterBatch, t.DBWriterAgeGets)
+		for _, id := range ids {
+			m.disks.Write(uint64(id))
+			blocks = append(blocks, id)
+		}
+		osInstr += uint64(len(ids)) * t.DBWriterInstr
+	}
+	cycles := m.price(cpuID, p.ID, 0, osInstr, blocks)
+	return osker.Outcome{Cycles: cycles, Instr: osInstr, Block: true}
+}
+
+// evictWrite counts a foreground dirty-eviction write.
+func (m *machine) evictWrite() {
+	if m.measuring {
+		m.evictWr++
+	}
+}
+
+// commit records a completed transaction and arms the measurement reset
+// at the end of warm-up.
+func (m *machine) commit() {
+	m.totalTxns++
+	if m.measuring {
+		m.txns++
+	} else if m.totalTxns >= uint64(m.cfg.WarmupTxns) {
+		m.wantReset = true
+	}
+}
+
+// reset starts the measurement period: every component's statistics are
+// zeroed while all state (caches, buffer pool, queues) is preserved.
+func (m *machine) reset() {
+	m.measuring = true
+	if m.onReset != nil {
+		m.onReset()
+	}
+	m.resetAt = m.eng.Now()
+	m.bc.ResetStats()
+	m.disks.ResetStats()
+	m.fsb.ResetStats(m.eng.Now())
+	m.domain.ResetStats()
+	m.sched.ResetStats()
+	m.lm.ResetStats()
+}
+
+// price synthesizes the chunk's reference activity and converts the event
+// counts into cycles using the Table 3/4 stall model.
+func (m *machine) price(cpuID, procID int, userInstr, osInstr uint64, blocks []odb.BlockID) sim.Time {
+	now := m.eng.Now()
+	smt := m.smtFactor(cpuID)
+	var userCycles, osCycles float64
+	if userInstr > 0 {
+		ev := m.synth.Run(workload.ChunkSpec{Now: now, CPU: cpuID, ProcID: procID, Instr: userInstr, Blocks: blocks})
+		userCycles = m.eventCycles(userInstr, ev) * smt
+		m.ctr.note(userInstr, userCycles, ev)
+		if m.measuring {
+			m.user.add(userInstr, userCycles, ev.TCMiss, ev.L2Miss, ev.L3Miss, ev.CoherMiss, ev.TLBMiss, ev.Mispred, ev.BusLatency)
+		}
+	}
+	if osInstr > 0 {
+		ev := m.synth.Run(workload.ChunkSpec{Now: now, CPU: cpuID, ProcID: procID, OS: true, Instr: osInstr, Blocks: blocks})
+		osCycles = m.eventCycles(osInstr, ev) * smt
+		m.ctr.note(osInstr, osCycles, ev)
+		if m.measuring {
+			m.os.add(osInstr, osCycles, ev.TCMiss, ev.L2Miss, ev.L3Miss, ev.CoherMiss, ev.TLBMiss, ev.Mispred, ev.BusLatency)
+		}
+	}
+	return sim.Time(userCycles + osCycles)
+}
+
+// eventCycles applies the stall-cost model to one chunk's scaled events.
+func (m *machine) eventCycles(instr uint64, ev workload.Events) float64 {
+	c := m.cfg.Machine.Stall
+	s := float64(m.cfg.Tuning.Scale)
+	l2NotL3 := float64(0)
+	if ev.L2Miss > ev.L3Miss {
+		l2NotL3 = float64(ev.L2Miss - ev.L3Miss)
+	}
+	stalls := s * (float64(ev.Mispred)*c.BranchMispred +
+		float64(ev.TLBMiss)*c.TLBMiss +
+		float64(ev.TCMiss)*c.TCMiss +
+		l2NotL3*c.L2Miss +
+		float64(ev.L3Miss)*(c.L3Miss-c.BusTime1P) + ev.BusLatency)
+	return float64(instr)*(c.InstBase+m.cfg.Tuning.OtherCPI) + stalls
+}
+
+// contextSwitch prices the OS switch path and flushes the TLB.
+func (m *machine) contextSwitch(p *osker.Proc, cpuID int) sim.Time {
+	m.synth.FlushTLB(cpuID)
+	return m.price(cpuID, p.ID, 0, m.cfg.Tuning.CtxSwitchInstr, nil)
+}
+
+// metrics assembles the final measurements.
+func (m *machine) metrics() Metrics {
+	cfg := m.cfg
+	t := &cfg.Tuning
+	out := Metrics{Warehouses: cfg.Warehouses, Clients: cfg.Clients, Processors: cfg.Processors}
+	out.Txns = m.txns
+	elapsed := float64(m.eng.Now() - m.resetAt)
+	out.ElapsedSeconds = elapsed / cfg.Machine.FreqHz
+	if m.txns == 0 || elapsed <= 0 {
+		return out
+	}
+	txns := float64(m.txns)
+	out.TPS = txns / out.ElapsedSeconds
+
+	totalInstr := m.user.instr + m.os.instr
+	totalCycles := m.user.cycles + m.os.cycles
+	out.IPX = float64(totalInstr) / txns
+	out.UserIPX = float64(m.user.instr) / txns
+	out.OSIPX = float64(m.os.instr) / txns
+	out.CPI = totalCycles / float64(totalInstr)
+	out.UserCPI = m.user.cpi()
+	out.OSCPI = m.os.cpi()
+
+	scale := t.Scale
+	combined := modeAccum{instr: totalInstr}
+	combined.tcMiss = m.user.tcMiss + m.os.tcMiss
+	combined.l2Miss = m.user.l2Miss + m.os.l2Miss
+	combined.l3Miss = m.user.l3Miss + m.os.l3Miss
+	combined.coher = m.user.coher + m.os.coher
+	combined.tlbMiss = m.user.tlbMiss + m.os.tlbMiss
+	combined.mispred = m.user.mispred + m.os.mispred
+
+	out.MPI = combined.ratePI(combined.l3Miss, scale)
+	out.UserMPI = m.user.ratePI(m.user.l3Miss, scale)
+	out.OSMPI = m.os.ratePI(m.os.l3Miss, scale)
+
+	busStats := m.fsb.StatsAt(m.eng.Now())
+	out.BusTime = busStats.MeanLatency()
+	out.BusUtil = busStats.Utilization()
+
+	out.Rates = cpu.EventRates{
+		BranchMispredPI: combined.ratePI(combined.mispred, scale),
+		TLBMissPI:       combined.ratePI(combined.tlbMiss, scale),
+		TCMissPI:        combined.ratePI(combined.tcMiss, scale),
+		L2MissPI:        combined.ratePI(combined.l2Miss, scale),
+		L3MissPI:        out.MPI,
+		BusTime:         out.BusTime,
+		OtherPI:         t.OtherCPI,
+	}
+	out.Breakdown = cpu.Assemble(cfg.Machine.Stall, out.Rates)
+
+	out.CPUUtil = m.sched.Utilization()
+	out.OSShare = m.os.cycles / totalCycles
+
+	ds := m.disks.StatsNow()
+	out.ReadKBPerTxn = float64(ds.Reads) * odb.BlockSizeKB / txns
+	out.WriteKBPerTxn = float64(ds.Writes) * odb.BlockSizeKB / txns
+	out.LogKBPerTxn = m.logBytes / 1024 / txns
+	out.DiskUtil = ds.Utilization(m.disks.DataDisks())
+	out.ReadLatencyMS = ds.MeanReadLatency() / m.cyclesPerMS
+
+	out.CtxSwitchPerTxn = float64(m.sched.Stats().ContextSwitches) / txns
+	out.BlocksPerTxn = float64(m.sched.Stats().Blocks) / txns
+	out.BusyWaitsPerTxn = float64(m.busyWaits) / txns
+	if combined.l3Miss > 0 {
+		out.CoherenceShare = float64(combined.coher) / float64(combined.l3Miss)
+	}
+	out.BufferHitRatio = m.bc.Stats().HitRatio()
+	out.LockConflicts = float64(m.lm.Stats().Conflicts) / txns
+	return out
+}

@@ -1,0 +1,259 @@
+package system
+
+import (
+	"math"
+	"testing"
+)
+
+// fastConfig returns a configuration small enough for unit tests.
+func fastConfig(w, c, p int) Config {
+	cfg := DefaultConfig(w, c, p)
+	cfg.WarmupTxns = 200
+	cfg.MeasureTxns = 600
+	return cfg
+}
+
+func run(t *testing.T, cfg Config) Metrics {
+	t.Helper()
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Txns == 0 {
+		t.Fatal("no transactions measured")
+	}
+	return m
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	cfg := fastConfig(10, 8, 4)
+	cfg.MeasureTxns = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero MeasureTxns accepted")
+	}
+}
+
+func TestIronLawIdentity(t *testing.T) {
+	// The measured quantities must satisfy TPS = util*P*F/(IPX*CPI)
+	// exactly — instructions, cycles, time and transaction counts are all
+	// drawn from the same bookkeeping.
+	for _, p := range []int{1, 4} {
+		m := run(t, fastConfig(40, 12, p))
+		predicted := m.CPUUtil * float64(p) * 1.6e9 / (m.IPX * m.CPI)
+		if rel := math.Abs(predicted-m.TPS) / m.TPS; rel > 0.02 {
+			t.Fatalf("P=%d iron law off by %.2f%%: predicted %.1f measured %.1f",
+				p, rel*100, predicted, m.TPS)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, fastConfig(25, 10, 2))
+	b := run(t, fastConfig(25, 10, 2))
+	if a.TPS != b.TPS || a.CPI != b.CPI || a.MPI != b.MPI || a.CtxSwitchPerTxn != b.CtxSwitchPerTxn {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	c := fastConfig(25, 10, 2)
+	c.Seed = 99
+	other := run(t, c)
+	if other.TPS == a.TPS && other.CPI == a.CPI {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestUserIPXFlatOSIPXGrows(t *testing.T) {
+	small := run(t, fastConfig(10, 8, 4))
+	large := run(t, fastConfig(360, 48, 4))
+	if r := large.UserIPX / small.UserIPX; r < 0.93 || r > 1.07 {
+		t.Fatalf("user IPX not flat: %v -> %v", small.UserIPX, large.UserIPX)
+	}
+	if large.OSIPX <= small.OSIPX {
+		t.Fatalf("OS IPX did not grow: %v -> %v", small.OSIPX, large.OSIPX)
+	}
+	if large.IPX <= small.IPX {
+		t.Fatal("total IPX did not grow")
+	}
+}
+
+func TestMPIAndCPIGrowWithWarehouses(t *testing.T) {
+	small := run(t, fastConfig(10, 8, 4))
+	large := run(t, fastConfig(360, 48, 4))
+	if large.MPI <= small.MPI*1.5 {
+		t.Fatalf("MPI growth too weak: %v -> %v", small.MPI, large.MPI)
+	}
+	if large.CPI <= small.CPI*1.2 {
+		t.Fatalf("CPI growth too weak: %v -> %v", small.CPI, large.CPI)
+	}
+}
+
+func TestMPIRoughlyFlatAcrossProcessors(t *testing.T) {
+	// The paper's surprising result: MPI does not increase with the
+	// processor count (coherence misses are negligible).
+	p1 := run(t, fastConfig(120, 10, 1))
+	p4 := run(t, fastConfig(120, 26, 4))
+	if r := p4.MPI / p1.MPI; r > 1.35 {
+		t.Fatalf("MPI grew %.2fx from 1P to 4P", r)
+	}
+	// CPI, however, does increase with P (bus queueing).
+	if p4.BusTime <= p1.BusTime {
+		t.Fatalf("bus time did not grow with P: %v -> %v", p1.BusTime, p4.BusTime)
+	}
+}
+
+func TestCoherence(t *testing.T) {
+	m := run(t, fastConfig(200, 30, 4))
+	if m.CoherenceShare <= 0 {
+		t.Fatal("no coherence misses on a 4P system")
+	}
+	if m.CoherenceShare > 0.25 {
+		t.Fatalf("coherence share = %v, want small", m.CoherenceShare)
+	}
+	uni := run(t, fastConfig(200, 12, 1))
+	if uni.CoherenceShare != 0 {
+		t.Fatalf("1P system has coherence misses: %v", uni.CoherenceShare)
+	}
+	cfg := fastConfig(200, 30, 4)
+	cfg.Coherent = false
+	off := run(t, cfg)
+	if off.CoherenceShare != 0 {
+		t.Fatalf("coherence disabled but share = %v", off.CoherenceShare)
+	}
+}
+
+func TestDiskTrafficRegions(t *testing.T) {
+	cached := run(t, fastConfig(10, 8, 4))
+	if cached.ReadKBPerTxn > 0.5 {
+		t.Fatalf("cached setup reads %v KB/txn, want ~0", cached.ReadKBPerTxn)
+	}
+	if cached.BufferHitRatio < 0.999 {
+		t.Fatalf("cached setup hit ratio = %v", cached.BufferHitRatio)
+	}
+	scaled := run(t, fastConfig(360, 48, 4))
+	if scaled.ReadKBPerTxn < 5 {
+		t.Fatalf("scaled setup reads %v KB/txn, want substantial", scaled.ReadKBPerTxn)
+	}
+	if scaled.LogKBPerTxn < 4 || scaled.LogKBPerTxn > 8 {
+		t.Fatalf("log = %v KB/txn, want ~6", scaled.LogKBPerTxn)
+	}
+	if scaled.WriteKBPerTxn <= cached.WriteKBPerTxn {
+		t.Fatalf("writes did not grow: %v -> %v", cached.WriteKBPerTxn, scaled.WriteKBPerTxn)
+	}
+}
+
+func TestContextSwitchShape(t *testing.T) {
+	// Figure 8: contention spike at 10W, dip in the middle, I/O-driven
+	// growth at scale.
+	spike := run(t, fastConfig(10, 8, 4))
+	dip := run(t, fastConfig(50, 16, 4))
+	io := run(t, fastConfig(360, 48, 4))
+	if spike.CtxSwitchPerTxn <= dip.CtxSwitchPerTxn {
+		t.Fatalf("no contention spike: 10W=%v 50W=%v", spike.CtxSwitchPerTxn, dip.CtxSwitchPerTxn)
+	}
+	if io.CtxSwitchPerTxn <= dip.CtxSwitchPerTxn {
+		t.Fatalf("no I/O growth: 50W=%v 360W=%v", dip.CtxSwitchPerTxn, io.CtxSwitchPerTxn)
+	}
+	if spike.BusyWaitsPerTxn <= io.BusyWaitsPerTxn {
+		t.Fatal("contention waits should concentrate at small W")
+	}
+}
+
+func TestL3DominatesCPIBreakdown(t *testing.T) {
+	m := run(t, fastConfig(200, 30, 4))
+	share := m.Breakdown.Share()
+	if share["L3"] < 0.4 {
+		t.Fatalf("L3 share = %v, want dominant", share["L3"])
+	}
+	// The computed breakdown must reproduce the measured CPI (our timing
+	// model is the Table 4 model, so the identity is exact up to bus-time
+	// averaging).
+	if rel := math.Abs(m.Breakdown.Total()-m.CPI) / m.CPI; rel > 0.02 {
+		t.Fatalf("breakdown total %.3f vs measured CPI %.3f", m.Breakdown.Total(), m.CPI)
+	}
+}
+
+func TestBranchAndComputeFlat(t *testing.T) {
+	small := run(t, fastConfig(10, 8, 4))
+	large := run(t, fastConfig(360, 48, 4))
+	if small.Breakdown.Inst != large.Breakdown.Inst {
+		t.Fatal("Inst component should be constant")
+	}
+	db := math.Abs(large.Breakdown.Branch - small.Breakdown.Branch)
+	if db > 0.15*small.Breakdown.Branch+0.05 {
+		t.Fatalf("branch component not flat: %v -> %v", small.Breakdown.Branch, large.Breakdown.Branch)
+	}
+}
+
+func TestUtilizationNeedsClients(t *testing.T) {
+	starved := run(t, fastConfig(360, 8, 4))
+	fed := run(t, fastConfig(360, 48, 4))
+	if starved.CPUUtil >= fed.CPUUtil {
+		t.Fatalf("more clients did not raise utilization: %v -> %v", starved.CPUUtil, fed.CPUUtil)
+	}
+}
+
+func TestItaniumPreset(t *testing.T) {
+	xeon := fastConfig(200, 30, 4)
+	it := xeon
+	it.Machine = Itanium2Quad()
+	mx := run(t, xeon)
+	mi := run(t, it)
+	// The 3 MB L3 must lower the miss rate and CPI at this size.
+	if mi.MPI >= mx.MPI {
+		t.Fatalf("Itanium2 MPI %v >= Xeon %v", mi.MPI, mx.MPI)
+	}
+	if mi.CPI >= mx.CPI {
+		t.Fatalf("Itanium2 CPI %v >= Xeon %v", mi.CPI, mx.CPI)
+	}
+}
+
+func TestHeuristicClients(t *testing.T) {
+	if HeuristicClients(10, 1) < 8 {
+		t.Fatal("floor violated")
+	}
+	if HeuristicClients(800, 4) > 64 {
+		t.Fatal("cap violated")
+	}
+	if HeuristicClients(800, 4) <= HeuristicClients(10, 4) {
+		t.Fatal("clients should grow with warehouses")
+	}
+	if HeuristicClients(500, 4) <= HeuristicClients(500, 1) {
+		t.Fatal("clients should grow with processors")
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := run(t, fastConfig(10, 8, 1))
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRunTraced(t *testing.T) {
+	var buf testBuffer
+	cfg := fastConfig(25, 10, 2)
+	m, refs, err := RunTraced(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refs == 0 || m.Txns == 0 {
+		t.Fatalf("traced run captured refs=%d txns=%d", refs, m.Txns)
+	}
+	// Header (6 bytes) plus 10 bytes per record.
+	if want := 6 + int(refs)*10; buf.n != want {
+		t.Fatalf("trace size = %d, want %d", buf.n, want)
+	}
+	if _, _, err := RunTraced(Config{}, &buf); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+// testBuffer counts bytes without storing them.
+type testBuffer struct{ n int }
+
+func (b *testBuffer) Write(p []byte) (int, error) {
+	b.n += len(p)
+	return len(p), nil
+}

@@ -1,0 +1,45 @@
+package system
+
+import (
+	"io"
+
+	"odbscale/internal/cache"
+	"odbscale/internal/trace"
+)
+
+// RunTraced executes a configuration like Run while capturing every
+// simulated memory reference of the measurement period to w in the trace
+// format. The returned metrics are the usual ones; the trace can then be
+// replayed offline against alternative cache geometries (see package
+// trace and cmd/odbtrace).
+func RunTraced(cfg Config, w io.Writer) (Metrics, uint64, error) {
+	if cfg.Warehouses < 1 || cfg.Clients < 1 || cfg.Processors < 1 {
+		return Metrics{}, 0, errBadConfig(cfg)
+	}
+	if cfg.MeasureTxns < 1 {
+		return Metrics{}, 0, errNoTxns()
+	}
+	tw, err := trace.NewWriter(w)
+	if err != nil {
+		return Metrics{}, 0, err
+	}
+	m := build(cfg)
+	var tapErr error
+	m.onReset = func() {
+		m.synth.SetTap(func(cpu int, addr cache.Addr, kind cache.Kind) {
+			if tapErr == nil {
+				tapErr = tw.Write(trace.Record{CPU: uint8(cpu), Kind: kind, Addr: uint64(addr)})
+			}
+		})
+	}
+	m.prefill()
+	m.start()
+	m.drive()
+	if tapErr != nil {
+		return Metrics{}, 0, tapErr
+	}
+	if err := tw.Flush(); err != nil {
+		return Metrics{}, 0, err
+	}
+	return m.metrics(), tw.Count(), nil
+}

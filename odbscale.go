@@ -1,0 +1,214 @@
+// Package odbscale reproduces "Scaling and Characterizing Database
+// Workloads: Bridging the Gap between Research and Practice" (MICRO 2003)
+// as a simulation study: a TPC-C-like OLTP engine (ODB) over a buffer
+// cache, disk array, OS scheduler, multi-level cache hierarchy with MESI
+// coherence and a shared front-side bus, together with the paper's
+// analytical contributions — the iron law of database performance and
+// the piecewise-linear pivot-point scaling model.
+//
+// The package is a facade: it re-exports the stable surface of the
+// internal packages so downstream users need a single import.
+//
+// Quick start:
+//
+//	cfg := odbscale.DefaultConfig(100, 32, 4) // warehouses, clients, CPUs
+//	m, err := odbscale.Run(cfg)
+//	// m.TPS, m.IPX, m.CPI, m.MPI, m.Breakdown, ...
+//
+// Campaigns (sweeps, client tuning, figure data) live behind Options:
+//
+//	opts := odbscale.DefaultOptions()
+//	set, err := opts.CollectSweeps(odbscale.StandardWarehouses, []int{1, 2, 4})
+//	char, err := set.Characterize(4) // pivot points, extrapolation
+package odbscale
+
+import (
+	"odbscale/internal/core"
+	"odbscale/internal/experiment"
+	"odbscale/internal/odb"
+	"odbscale/internal/perfmon"
+	"odbscale/internal/stats"
+	"odbscale/internal/system"
+	"odbscale/internal/xrand"
+)
+
+// Configuration and measurement of a single OLTP setup.
+type (
+	// Config describes one simulated configuration: workload size
+	// (warehouses, clients), system size (processors), platform and
+	// tuning constants.
+	Config = system.Config
+	// MachineConfig is the hardware platform description.
+	MachineConfig = system.MachineConfig
+	// Tuning holds the software-model calibration constants.
+	Tuning = system.Tuning
+	// Metrics is everything one run measures: throughput, IPX, CPI, MPI
+	// (with user/OS splits), disk and bus behaviour, context switches.
+	Metrics = system.Metrics
+)
+
+// Run executes one configuration through warm-up and measurement.
+func Run(cfg Config) (Metrics, error) { return system.Run(cfg) }
+
+// DefaultConfig returns a ready-to-run configuration of the paper's Xeon
+// platform with the given warehouses, clients and processors.
+func DefaultConfig(warehouses, clients, processors int) Config {
+	return system.DefaultConfig(warehouses, clients, processors)
+}
+
+// XeonQuad returns the paper's experimental platform: 4-way 1.6 GHz Xeon
+// MP, 1 MB L3 per processor, shared FSB, 26 disks, 2.8 GB buffer cache.
+func XeonQuad() MachineConfig { return system.XeonQuad() }
+
+// Itanium2Quad returns the Section 6.3 validation platform: 3 MB L3,
+// ~1.5x bus bandwidth, more disks and memory.
+func Itanium2Quad() MachineConfig { return system.Itanium2Quad() }
+
+// DefaultTuning returns the calibrated model constants.
+func DefaultTuning() Tuning { return system.DefaultTuning() }
+
+// HeuristicClients estimates a client count for ≥90% utilization without
+// running the tuner.
+func HeuristicClients(warehouses, processors int) int {
+	return system.HeuristicClients(warehouses, processors)
+}
+
+// The paper's analytical contribution.
+type (
+	// IronLaw is the iron law of database performance:
+	// TPS = util × P × F / (IPX × CPI).
+	IronLaw = core.IronLaw
+	// Characterization bundles the two-region CPI(W) and MPI(W) fits and
+	// their pivot points for one processor configuration.
+	Characterization = core.Characterization
+	// ScalingFit is one metric's two-region fit.
+	ScalingFit = core.ScalingFit
+)
+
+// Characterize fits the two-region scaling model to CPI(W) and MPI(W)
+// series (sorted by warehouses).
+func Characterize(processors int, cpi, mpi Series) (Characterization, error) {
+	return core.Characterize(processors, cpi, mpi)
+}
+
+// Speedup returns the throughput ratio of two iron-law operating points.
+func Speedup(after, before IronLaw) float64 { return core.Speedup(after, before) }
+
+// Campaigns: sweeps, tuning and figure assembly.
+type (
+	// Options configures a measurement campaign (platform, measurement
+	// lengths, the ≥90%-utilization client tuner, parallelism).
+	Options = experiment.Options
+	// SweepSet holds a full warehouse × processor campaign.
+	SweepSet = experiment.SweepSet
+)
+
+// DefaultOptions returns the paper-equivalent campaign settings.
+func DefaultOptions() Options { return experiment.Defaults() }
+
+// Replication summarizes repeated measurements under different seeds.
+type Replication = experiment.Replication
+
+// Replicate runs one configuration n times with consecutive seeds and
+// summarizes the run-to-run spread of the headline metrics.
+func Replicate(cfg Config, n int) (Replication, error) {
+	return experiment.Replicate(cfg, n)
+}
+
+// StandardWarehouses is the warehouse axis used by the paper's figures.
+var StandardWarehouses = experiment.StandardWarehouses
+
+// StandardProcessors are the paper's processor configurations {1, 2, 4}.
+var StandardProcessors = experiment.StandardProcessors
+
+// Data containers.
+type (
+	// Series is an (x, y) series, x being the warehouse count.
+	Series = stats.Series
+	// Table is an aligned text table in the style of the paper's tables.
+	Table = stats.Table
+	// Chart renders series as a text line chart.
+	Chart = stats.Chart
+)
+
+// RenderSeries formats figure series as an aligned text table.
+func RenderSeries(title string, series []Series, decimals int) string {
+	return experiment.RenderSeries(title, series, decimals)
+}
+
+// EMON-style performance-counter sampling (the paper's measurement
+// methodology: grouped events, round-robin windows, repeated rotations).
+type (
+	// EMONConfig is the sampling schedule.
+	EMONConfig = perfmon.Config
+	// EMONEvent identifies a Table 2 performance-monitoring event.
+	EMONEvent = perfmon.Event
+	// EMONResult is one event's repeated rate observations.
+	EMONResult = perfmon.Result
+)
+
+// DefaultEMONConfig mirrors the paper's schedule at the given clock:
+// ten-second windows, six rotations.
+func DefaultEMONConfig(cyclesPerSecond float64) EMONConfig {
+	return perfmon.DefaultConfig(cyclesPerSecond)
+}
+
+// RunEMON executes a configuration while sampling its performance
+// counters with the EMON schedule, returning both the exact metrics and
+// the sampled observations (with their sampling error).
+func RunEMON(cfg Config, emon EMONConfig) (Metrics, []EMONResult, error) {
+	return system.RunEMON(cfg, emon)
+}
+
+// EMONEvents returns the Table 2 events in order.
+func EMONEvents() []EMONEvent { return perfmon.Events() }
+
+// EMONEventInfo returns an event's Table 2 row (alias, EMON event name,
+// description).
+func EMONEventInfo(e EMONEvent) (alias, emonEvent, description string) {
+	d := perfmon.Table2[e]
+	return d.Alias, d.EMONEvent, d.Description
+}
+
+// The functional (payload-mode) engine: a small-scale working database
+// with real pages, write-ahead redo logging and crash recovery, built on
+// the same schema, layout and buffer cache as the simulation.
+type (
+	// Layout maps the ODB schema onto the block address space for a
+	// given warehouse count.
+	Layout = odb.Layout
+	// FunctionalStore executes row-level transaction effects on real
+	// pages and supports Checkpoint, Crash and Recover.
+	FunctionalStore = odb.Store
+	// TxnGenerator produces ODB transaction programs (the five
+	// transaction types in the standard mix).
+	TxnGenerator = odb.Generator
+	// Txn is one generated transaction instance.
+	Txn = odb.Txn
+)
+
+// TableID identifies an ODB table or index.
+type TableID = odb.TableID
+
+// The ODB schema's heap tables (indices are internal to the engine).
+const (
+	TableWarehouse = odb.TableWarehouse
+	TableDistrict  = odb.TableDistrict
+	TableCustomer  = odb.TableCustomer
+	TableStock     = odb.TableStock
+	TableItem      = odb.TableItem
+)
+
+// NewLayout lays out the ODB database for w warehouses.
+func NewLayout(warehouses int) *Layout { return odb.NewLayout(warehouses) }
+
+// NewFunctionalStore builds a payload-mode store over the layout with a
+// buffer cache of the given block capacity.
+func NewFunctionalStore(l *Layout, cacheBlocks int) *FunctionalStore {
+	return odb.NewStore(l, cacheBlocks)
+}
+
+// NewTxnGenerator builds a deterministic transaction generator.
+func NewTxnGenerator(l *Layout, seed int64) *TxnGenerator {
+	return odb.NewGenerator(l, xrand.New(seed))
+}

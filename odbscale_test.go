@@ -1,0 +1,132 @@
+package odbscale_test
+
+import (
+	"math"
+	"testing"
+
+	"odbscale"
+)
+
+// TestPublicAPIQuickstart exercises the documented entry points end to
+// end: run a configuration, check the iron law, fit a characterization.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := odbscale.DefaultConfig(40, 12, 2)
+	cfg.WarmupTxns = 200
+	cfg.MeasureTxns = 500
+	m, err := odbscale.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	law := odbscale.IronLaw{
+		Processors:  m.Processors,
+		FrequencyHz: cfg.Machine.FreqHz,
+		IPX:         m.IPX,
+		CPI:         m.CPI,
+		Utilization: m.CPUUtil,
+	}
+	if err := law.Verify(m.TPS, 0.02); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicPresets(t *testing.T) {
+	x := odbscale.XeonQuad()
+	i := odbscale.Itanium2Quad()
+	if x.Geometry.L3Size >= i.Geometry.L3Size {
+		t.Fatal("Itanium2 must have the larger L3")
+	}
+	if odbscale.HeuristicClients(800, 4) <= odbscale.HeuristicClients(10, 4) {
+		t.Fatal("heuristic not increasing")
+	}
+	if len(odbscale.StandardWarehouses) < 8 || len(odbscale.StandardProcessors) != 3 {
+		t.Fatal("standard axes wrong")
+	}
+}
+
+func TestPublicCharacterize(t *testing.T) {
+	var cpi, mpi odbscale.Series
+	for _, w := range []float64{10, 50, 100, 200, 400, 800} {
+		// Two-region synthetic data with a pivot near 120.
+		if w <= 120 {
+			cpi.Add(w, 2+0.02*w)
+			mpi.Add(w, 0.004+0.00005*w)
+		} else {
+			cpi.Add(w, 2+0.02*120+0.001*(w-120))
+			mpi.Add(w, 0.004+0.00005*120+0.000002*(w-120))
+		}
+	}
+	c, err := odbscale.Characterize(4, cpi, mpi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.RepresentativePivot()-120) > 30 {
+		t.Fatalf("pivot = %v, want ~120", c.RepresentativePivot())
+	}
+	if out := odbscale.RenderSeries("CPI", []odbscale.Series{cpi}, 2); out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestPublicSpeedup(t *testing.T) {
+	a := odbscale.IronLaw{Processors: 4, FrequencyHz: 1e9, IPX: 1e6, CPI: 4, Utilization: 1}
+	b := odbscale.IronLaw{Processors: 1, FrequencyHz: 1e9, IPX: 1e6, CPI: 4, Utilization: 1}
+	if got := odbscale.Speedup(a, b); got != 4 {
+		t.Fatalf("Speedup = %v", got)
+	}
+}
+
+func TestPublicEMONAndFunctionalStore(t *testing.T) {
+	cfg := odbscale.DefaultConfig(25, 10, 2)
+	cfg.WarmupTxns = 150
+	cfg.MeasureTxns = 400
+	emon := odbscale.DefaultEMONConfig(cfg.Machine.FreqHz)
+	emon.Window /= 200
+	emon.Repeats = 3
+	_, results, err := odbscale.RunEMON(cfg, emon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no EMON results")
+	}
+	if alias, name, desc := odbscale.EMONEventInfo(results[0].Event); alias == "" || name == "" || desc == "" {
+		t.Fatal("incomplete event info")
+	}
+	if len(odbscale.EMONEvents()) != 9 {
+		t.Fatal("want 9 Table 2 events")
+	}
+
+	layout := odbscale.NewLayout(2)
+	store := odbscale.NewFunctionalStore(layout, 64)
+	gen := odbscale.NewTxnGenerator(layout, 7)
+	for i := 0; i < 300; i++ {
+		store.ApplyTxn(gen.Next(i % 2))
+	}
+	var w, d int64
+	for wh := 0; wh < 2; wh++ {
+		w += store.Counter(odbscale.TableWarehouse, uint64(wh))
+		for dd := 0; dd < 10; dd++ {
+			d += store.Counter(odbscale.TableDistrict, uint64(wh*10+dd))
+		}
+	}
+	if w == 0 || w != d {
+		t.Fatalf("conservation violated: warehouse %d vs district %d", w, d)
+	}
+	store.Crash()
+	store.Recover()
+	var w2 int64
+	for wh := 0; wh < 2; wh++ {
+		w2 += store.Counter(odbscale.TableWarehouse, uint64(wh))
+	}
+	if w2 != w {
+		t.Fatalf("recovery lost money: %d != %d", w2, w)
+	}
+
+	rep, err := odbscale.Replicate(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatal("replication failed")
+	}
+}
