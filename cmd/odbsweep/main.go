@@ -1,16 +1,35 @@
-// Command odbsweep runs a warehouse sweep for one or more processor
-// counts and prints a metrics table per configuration — the raw data
-// behind the paper's Figures 2-16. With -csv it emits machine-readable
-// output instead.
+// Command odbsweep runs a warehouse × processor campaign and prints a
+// metrics table per configuration — the raw data behind the paper's
+// Figures 2-16. All runs go through the campaign runner: one bounded
+// worker pool schedules every measurement point and tuner probe, a live
+// progress line tracks the campaign on stderr, and -checkpoint/-resume
+// make interrupted campaigns restartable (Ctrl-C is caught so the
+// checkpoint stays valid).
+//
+// Client counts: -c 0 (the default) auto-tunes every point to the
+// paper's ≥90% CPU-utilization target through the campaign runner's
+// warm-started, memoized search. (Earlier versions silently fell back
+// to a static heuristic for -c 0; use -heuristic for that behaviour.)
+// A positive -c pins a fixed client count.
+//
+// Output: aligned text by default, -csv for CSV, -json for one JSON
+// object per point; -events appends a machine-readable campaign event
+// log.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
+	"odbscale/internal/campaign"
+	"odbscale/internal/experiment"
 	"odbscale/internal/system"
 )
 
@@ -29,39 +48,89 @@ func parseInts(s string) []int {
 func main() {
 	ws := flag.String("w", "10,25,50,100,200,300,500,800", "warehouse counts")
 	ps := flag.String("p", "4", "processor counts")
-	clients := flag.Int("c", 0, "fixed client count (0 = heuristic per config)")
-	txns := flag.Int("txns", 2400, "measured transactions")
+	clients := flag.Int("c", 0, "fixed client count (0 = auto-tune each point to the ≥90% utilization target via the campaign runner; was: static heuristic)")
+	heuristic := flag.Bool("heuristic", false, "with -c 0, use the static client heuristic instead of the tuner (the old -c 0 behaviour)")
+	txns := flag.Int("txns", 2400, "measured transactions per point")
+	tuneTxns := flag.Int("tunetxns", 1200, "measured transactions per tuner probe")
 	seed := flag.Int64("seed", 1, "random seed")
 	machine := flag.String("machine", "xeon", "platform: xeon or itanium2")
+	par := flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: completed points persist here after every run")
+	resume := flag.Bool("resume", false, "resume from -checkpoint, re-executing only incomplete points")
+	events := flag.String("events", "", "append a JSON campaign event log to this file")
 	csv := flag.Bool("csv", false, "CSV output")
+	jsonOut := flag.Bool("json", false, "JSON output (one object per point)")
+	quiet := flag.Bool("quiet", false, "suppress the stderr progress line")
 	flag.Parse()
+
+	o := experiment.Defaults()
+	o.Seed = *seed
+	o.MeasureTxns = *txns
+	o.TuneTxns = *tuneTxns
+	o.AutoTune = *clients == 0 && !*heuristic
+	o.Parallelism = *par
+	switch *machine {
+	case "xeon":
+	case "itanium2":
+		o.Machine = system.Itanium2Quad()
+	default:
+		log.Fatalf("unknown -machine %q (want xeon or itanium2)", *machine)
+	}
+
+	warehouses, processors := parseInts(*ws), parseInts(*ps)
+	spec := o.CampaignSpec(warehouses, processors)
+	spec.Clients = *clients
+	spec.CheckpointPath = *checkpoint
+	spec.Resume = *resume
+	if *resume && *checkpoint == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
+
+	var observers []campaign.Observer
+	if !*quiet {
+		observers = append(observers, campaign.NewProgress(os.Stderr, len(warehouses)*len(processors)))
+	}
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		observers = append(observers, campaign.NewEventLog(f))
+	}
+	spec.Observer = campaign.Observers(observers...)
+
+	// Ctrl-C cancels the campaign cleanly: in-flight runs stop at the
+	// next cancellation check and the checkpoint keeps completed points.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := campaign.Run(ctx, spec)
+	if err != nil {
+		if *checkpoint != "" {
+			log.Printf("campaign stopped; completed points are in %s (rerun with -resume)", *checkpoint)
+		}
+		log.Fatal(err)
+	}
 
 	if *csv {
 		fmt.Println("w,p,c,tps,ipx,useripx,osipx,cpi,usercpi,oscpi,mpi,usermpi,osmpi,util,osshare,readkb,writekb,logkb,ctxsw,bustime,busutil,cohershare,bufferhit,diskutil")
 	}
-	for _, p := range parseInts(*ps) {
-		for _, w := range parseInts(*ws) {
-			c := *clients
-			if c == 0 {
-				c = system.HeuristicClients(w, p)
-			}
-			cfg := system.DefaultConfig(w, c, p)
-			cfg.Seed = *seed
-			cfg.MeasureTxns = *txns
-			if *machine == "itanium2" {
-				cfg.Machine = system.Itanium2Quad()
-			}
-			m, err := system.Run(cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if *csv {
+	enc := json.NewEncoder(os.Stdout)
+	for _, p := range processors {
+		for _, m := range res.Series(p) {
+			switch {
+			case *jsonOut:
+				if err := enc.Encode(m); err != nil {
+					log.Fatal(err)
+				}
+			case *csv:
 				fmt.Printf("%d,%d,%d,%.1f,%.0f,%.0f,%.0f,%.3f,%.3f,%.3f,%.5f,%.5f,%.5f,%.3f,%.3f,%.2f,%.2f,%.2f,%.2f,%.1f,%.3f,%.4f,%.4f,%.3f\n",
 					m.Warehouses, m.Processors, m.Clients, m.TPS, m.IPX, m.UserIPX, m.OSIPX,
 					m.CPI, m.UserCPI, m.OSCPI, m.MPI, m.UserMPI, m.OSMPI, m.CPUUtil, m.OSShare,
 					m.ReadKBPerTxn, m.WriteKBPerTxn, m.LogKBPerTxn, m.CtxSwitchPerTxn,
 					m.BusTime, m.BusUtil, m.CoherenceShare, m.BufferHitRatio, m.DiskUtil)
-			} else {
+			default:
 				fmt.Println(m)
 			}
 		}

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"os"
 
 	"odbscale"
 )
@@ -24,11 +26,22 @@ func main() {
 	ws := []int{10, 25, 50, 100, 150, 200, 300, 400, 500, 650, 800}
 	const p = 4
 
+	// The sweep runs as a campaign: one worker pool schedules every
+	// point, a progress line tracks it live, and a checkpoint makes the
+	// sweep resumable if interrupted (rerun to pick up where it left off).
+	ctx := context.Background()
+	spec := opts.CampaignSpec(ws, []int{p})
+	spec.CheckpointPath = "pivotstudy.checkpoint.json"
+	spec.Resume = true
+	spec.Observer = odbscale.NewCampaignProgress(os.Stderr, len(ws))
+
 	fmt.Printf("sweeping W=%v on %s (%dP)...\n", ws, opts.Machine.Name, p)
-	set, err := opts.CollectSweeps(ws, []int{p})
+	res, err := odbscale.RunCampaign(ctx, spec)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer os.Remove(spec.CheckpointPath) // campaign complete: drop the checkpoint
+	set := odbscale.SweepSetFromCampaign(res)
 
 	char, err := set.Characterize(p)
 	if err != nil {
@@ -53,7 +66,7 @@ func main() {
 
 	cfg := odbscale.DefaultConfig(target, 64, p)
 	cfg.MeasureTxns = 2000
-	m, err := odbscale.Run(cfg)
+	m, err := odbscale.RunContext(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

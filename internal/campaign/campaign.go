@@ -1,0 +1,467 @@
+// Package campaign schedules measurement campaigns — the warehouse ×
+// processor sweeps with per-point ≥90%-utilization client tuning behind
+// the paper's Table 1 and Figures 2-16 — as one context-aware run.
+//
+// A single bounded worker pool executes every simulator run in the
+// campaign: the measurement points of all sweeps and the client tuner's
+// utilization probes. Tuning for one processor configuration walks the
+// warehouse axis in order, warm-starting each search at the previous
+// point's tuned count and memoizing every probe, while finished points
+// measure concurrently. Completed work persists to a JSON checkpoint,
+// so an interrupted campaign resumes where it left off, and a pluggable
+// Observer streams progress events (PointStarted, PointFinished,
+// TunerProbe, CampaignDone) for live CLIs and machine-readable logs.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"odbscale/internal/system"
+)
+
+// Spec describes one campaign: the platform and measurement lengths,
+// the client-tuning policy, the sweep axes, and the operational knobs
+// (parallelism, checkpointing, observation).
+type Spec struct {
+	Machine system.MachineConfig
+	Tuning  system.Tuning
+	Seed    int64
+
+	WarmupTxns  int
+	MeasureTxns int
+	// TuneTxns is the (shorter) measurement length of tuner probes.
+	TuneTxns int
+
+	// TargetUtil is the CPU utilization the client tuner must reach
+	// (the paper keeps every configuration above 90%).
+	TargetUtil float64
+	MinClients int
+	MaxClients int
+
+	// AutoTune enables the client tuner; otherwise HeuristicClients
+	// picks each point's client count.
+	AutoTune bool
+	// Clients, when positive, pins every point to a fixed client count,
+	// overriding both the tuner and the heuristic.
+	Clients int
+	// WarmStart floors each point's tuner search at the tuned count of
+	// the preceding smaller-warehouse point on the same processor lane —
+	// the paper's Table 1 trend (tuned clients never shrink as
+	// warehouses grow) made algorithmic. A plateau point then costs two
+	// confirming probes instead of a full exponential climb from
+	// MinClients. Disable it to reproduce the exact legacy search.
+	WarmStart bool
+
+	// Parallelism bounds concurrent simulator runs (0 = GOMAXPROCS).
+	Parallelism int
+
+	// Warehouses and Processors are the sweep axes; every (W, P) pair is
+	// one measurement point. Warehouses should ascend when WarmStart is
+	// on (the floor only carries forward to larger warehouse counts).
+	Warehouses []int
+	Processors []int
+
+	// CheckpointPath, when set, persists completed points and probes
+	// after each run; "" disables checkpointing.
+	CheckpointPath string
+	// Resume loads CheckpointPath (if it exists) and skips every point
+	// already completed, re-using recorded tuner probes. Requires a
+	// CheckpointPath; a missing file starts a fresh campaign.
+	Resume bool
+
+	// Observer receives progress events; nil means none.
+	Observer Observer
+}
+
+// fingerprint reduces the spec to its run-defining parameters.
+func (s *Spec) fingerprint() Fingerprint {
+	return Fingerprint{
+		Machine:     s.Machine.Name,
+		Seed:        s.Seed,
+		WarmupTxns:  s.WarmupTxns,
+		MeasureTxns: s.MeasureTxns,
+		TuneTxns:    s.TuneTxns,
+		TargetUtil:  s.TargetUtil,
+		MinClients:  s.MinClients,
+		MaxClients:  s.MaxClients,
+		AutoTune:    s.AutoTune,
+		Clients:     s.Clients,
+	}
+}
+
+func (s *Spec) validate() error {
+	if len(s.Warehouses) == 0 || len(s.Processors) == 0 {
+		return fmt.Errorf("campaign: empty sweep axes (W=%v, P=%v)", s.Warehouses, s.Processors)
+	}
+	if s.MeasureTxns < 1 {
+		return fmt.Errorf("campaign: %w", system.ErrNoTxns)
+	}
+	if s.AutoTune {
+		if s.TuneTxns < 1 {
+			return fmt.Errorf("campaign: AutoTune requires positive TuneTxns")
+		}
+		if s.MinClients < 1 || s.MaxClients < s.MinClients {
+			return fmt.Errorf("campaign: bad client range [%d, %d]", s.MinClients, s.MaxClients)
+		}
+	}
+	return nil
+}
+
+// config assembles the simulator configuration of one run.
+func (s *Spec) config(w, c, p, txns int) system.Config {
+	return system.Config{
+		Warehouses:  w,
+		Clients:     c,
+		Processors:  p,
+		Seed:        s.Seed,
+		Machine:     s.Machine,
+		Tuning:      s.Tuning,
+		Coherent:    true,
+		WarmupTxns:  s.WarmupTxns,
+		MeasureTxns: txns,
+	}
+}
+
+// PointKey addresses one (warehouses, processors) measurement point.
+type PointKey struct {
+	W, P int
+}
+
+// Result holds a completed campaign.
+type Result struct {
+	Warehouses []int
+	Processors []int
+	Points     map[PointKey]system.Metrics
+	Summary    Summary
+}
+
+// Metrics returns one point's measurement.
+func (r *Result) Metrics(w, p int) (system.Metrics, bool) {
+	m, ok := r.Points[PointKey{W: w, P: p}]
+	return m, ok
+}
+
+// Series returns the metrics of one processor configuration in
+// warehouse-axis order.
+func (r *Result) Series(p int) []system.Metrics {
+	out := make([]system.Metrics, 0, len(r.Warehouses))
+	for _, w := range r.Warehouses {
+		if m, ok := r.Points[PointKey{W: w, P: p}]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// RunFunc is the simulator entry point a Runner drives.
+type RunFunc func(ctx context.Context, cfg system.Config) (system.Metrics, error)
+
+// Runner executes campaigns. The zero value with a Spec is ready to
+// use; RunFunc may be overridden to interpose on simulator runs (tests,
+// caching layers).
+type Runner struct {
+	Spec    Spec
+	RunFunc RunFunc // nil means system.RunContext
+}
+
+// Run executes the campaign described by spec. It is shorthand for
+// (&Runner{Spec: spec}).Run(ctx).
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	return (&Runner{Spec: spec}).Run(ctx)
+}
+
+// pool bounds concurrent simulator runs.
+type pool struct {
+	sem chan struct{}
+}
+
+func newPool(parallelism int) *pool {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &pool{sem: make(chan struct{}, parallelism)}
+}
+
+// run executes one configuration inside the pool, honouring ctx while
+// waiting for a slot and during the run itself.
+func (pl *pool) run(ctx context.Context, fn RunFunc, cfg system.Config) (system.Metrics, error) {
+	select {
+	case pl.sem <- struct{}{}:
+		defer func() { <-pl.sem }()
+	case <-ctx.Done():
+		return system.Metrics{}, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return system.Metrics{}, err
+	}
+	return fn(ctx, cfg)
+}
+
+// emitter serializes observer delivery and keeps the summary counters.
+type emitter struct {
+	mu  sync.Mutex
+	obs Observer
+	sum Summary
+}
+
+func (e *emitter) pointStarted(p Point) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.obs.PointStarted(p)
+}
+
+func (e *emitter) pointFinished(p PointResult) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sum.Points++
+	if p.Resumed {
+		e.sum.PointsResumed++
+	} else {
+		e.sum.Runs++
+	}
+	e.obs.PointFinished(p)
+}
+
+func (e *emitter) tunerProbe(p Probe) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sum.Probes++
+	if p.Cached {
+		e.sum.ProbesCached++
+	} else {
+		e.sum.Runs++
+	}
+	e.obs.TunerProbe(p)
+}
+
+func (e *emitter) done(elapsed time.Duration, err error) Summary {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sum.Elapsed = elapsed
+	e.sum.Err = err
+	e.obs.CampaignDone(e.sum)
+	return e.sum
+}
+
+// Run executes the campaign: every processor configuration tunes its
+// warehouse points in axis order (probes flowing through the shared
+// pool), and each point's measurement run is scheduled on the pool as
+// soon as its client count is known. The first failure — including a
+// context cancellation — stops scheduling, cancels in-flight waits, and
+// is returned after in-flight runs drain; completed work remains in the
+// checkpoint, so a rerun with Resume picks up from there.
+func (r *Runner) Run(ctx context.Context) (*Result, error) {
+	spec := &r.Spec
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	runFn := r.RunFunc
+	if runFn == nil {
+		runFn = system.RunContext
+	}
+	obs := spec.Observer
+	if obs == nil {
+		obs = noop{}
+	}
+	ck, err := newCKStore(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	started := time.Now()
+	em := &emitter{obs: obs}
+	pl := newPool(spec.Parallelism)
+	res := &Result{
+		Warehouses: append([]int(nil), spec.Warehouses...),
+		Processors: append([]int(nil), spec.Processors...),
+		Points:     make(map[PointKey]system.Metrics),
+	}
+
+	var (
+		failMu   sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		failMu.Unlock()
+	}
+	var resMu sync.Mutex
+	record := func(k PointKey, m system.Metrics) {
+		resMu.Lock()
+		res.Points[k] = m
+		resMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for _, p := range spec.Processors {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r.lane(ctx, p, pl, ck, em, runFn, &wg, fail, record)
+		}(p)
+	}
+	wg.Wait()
+
+	sum := em.done(time.Since(started), firstErr)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Summary = sum
+	return res, nil
+}
+
+// lane walks one processor configuration along the warehouse axis:
+// resume or tune each point sequentially (so warm starts and probe
+// memoization see the previous point), then hand the measurement run to
+// the pool and move on while it simulates.
+func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emitter,
+	runFn RunFunc, wg *sync.WaitGroup, fail func(error), record func(PointKey, system.Metrics)) {
+	spec := &r.Spec
+	prevW, floor := -1, spec.MinClients
+	for _, w := range spec.Warehouses {
+		if ctx.Err() != nil {
+			fail(ctx.Err())
+			return
+		}
+		key := PointKey{W: w, P: p}
+		if pt, ok := ck.point(key); ok {
+			em.pointFinished(PointResult{
+				Point:   Point{Warehouses: w, Processors: p, Clients: pt.C},
+				Metrics: pt.Metrics,
+				Resumed: true,
+			})
+			record(key, pt.Metrics)
+			if spec.WarmStart && w >= prevW && pt.C > floor {
+				floor = pt.C
+			}
+			prevW = w
+			continue
+		}
+
+		c := spec.Clients
+		if c <= 0 {
+			if spec.AutoTune {
+				start := spec.MinClients
+				if spec.WarmStart && w >= prevW {
+					start = floor
+				}
+				tuned, err := r.tunePoint(ctx, pl, ck, em, runFn, w, p, start)
+				if err != nil {
+					fail(fmt.Errorf("campaign: tuning W=%d P=%d: %w", w, p, err))
+					return
+				}
+				c = tuned
+				if spec.WarmStart && w >= prevW && c > floor {
+					floor = c
+				}
+			} else {
+				c = system.HeuristicClients(w, p)
+			}
+		}
+		prevW = w
+
+		wg.Add(1)
+		go func(w, p, c int) {
+			defer wg.Done()
+			point := Point{Warehouses: w, Processors: p, Clients: c}
+			em.pointStarted(point)
+			t0 := time.Now()
+			m, err := pl.run(ctx, runFn, spec.config(w, c, p, spec.MeasureTxns))
+			elapsed := time.Since(t0)
+			if err != nil {
+				em.pointFinished(PointResult{Point: point, Elapsed: elapsed, Err: err})
+				fail(fmt.Errorf("campaign: W=%d P=%d: %w", w, p, err))
+				return
+			}
+			em.pointFinished(PointResult{Point: point, Metrics: m, Elapsed: elapsed})
+			record(PointKey{W: w, P: p}, m)
+			if err := ck.addPoint(w, p, c, m); err != nil {
+				fail(fmt.Errorf("campaign: checkpointing W=%d P=%d: %w", w, p, err))
+			}
+		}(w, p, c)
+	}
+}
+
+// tunePoint finds the point's client count with the memoized,
+// warm-started tuner search; every probe that is not already in the
+// memo runs through the shared pool.
+func (r *Runner) tunePoint(ctx context.Context, pl *pool, ck *ckStore, em *emitter,
+	runFn RunFunc, w, p, start int) (int, error) {
+	spec := &r.Spec
+	probe := func(c int) (float64, error) {
+		if u, ok := ck.probe(w, p, c); ok {
+			em.tunerProbe(Probe{Warehouses: w, Processors: p, Clients: c, Util: u, Cached: true})
+			return u, nil
+		}
+		t0 := time.Now()
+		m, err := pl.run(ctx, runFn, spec.config(w, c, p, spec.TuneTxns))
+		if err != nil {
+			return 0, err
+		}
+		u := m.CPUUtil
+		em.tunerProbe(Probe{Warehouses: w, Processors: p, Clients: c, Util: u, Elapsed: time.Since(t0)})
+		if err := ck.addProbe(w, p, c, u); err != nil {
+			return 0, err
+		}
+		return u, nil
+	}
+	return Tune(probe, Bounds{
+		Min:    spec.MinClients,
+		Max:    spec.MaxClients,
+		Start:  start,
+		Target: spec.TargetUtil,
+	})
+}
+
+// RunAll executes the configurations through one bounded pool and
+// returns their metrics in input order — the campaign scheduling
+// substrate exposed for batch jobs like seeded replication. The first
+// error cancels the remaining runs.
+func RunAll(ctx context.Context, parallelism int, cfgs []system.Config) ([]system.Metrics, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	pl := newPool(parallelism)
+	out := make([]system.Metrics, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg system.Config) {
+			defer wg.Done()
+			m, err := pl.run(ctx, system.RunContext, cfg)
+			out[i], errs[i] = m, err
+			if err != nil {
+				cancel()
+			}
+		}(i, cfg)
+	}
+	wg.Wait()
+	// Prefer a real failure over the context.Canceled its cancellation
+	// spread to the other runs.
+	first := -1
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first < 0 || errors.Is(errs[first], context.Canceled) && !errors.Is(err, context.Canceled) {
+			first = i
+		}
+	}
+	if first >= 0 {
+		return nil, fmt.Errorf("campaign: run %d (W=%d C=%d P=%d): %w",
+			first, cfgs[first].Warehouses, cfgs[first].Clients, cfgs[first].Processors, errs[first])
+	}
+	return out, nil
+}

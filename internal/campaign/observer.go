@@ -1,0 +1,235 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"odbscale/internal/system"
+)
+
+// Point identifies one measurement configuration of a campaign.
+type Point struct {
+	Warehouses int
+	Processors int
+	Clients    int
+}
+
+// PointResult is delivered when a measurement point finishes or is
+// restored from the checkpoint.
+type PointResult struct {
+	Point
+	Metrics system.Metrics
+	Elapsed time.Duration // wall time of the simulation run; zero when resumed
+	Resumed bool          // restored from the checkpoint, not re-simulated
+	Err     error
+}
+
+// Probe is one client-tuner utilization measurement.
+type Probe struct {
+	Warehouses int
+	Processors int
+	Clients    int
+	Util       float64
+	Elapsed    time.Duration
+	Cached     bool // served from the probe memo or checkpoint without a run
+}
+
+// Summary closes a campaign.
+type Summary struct {
+	Points        int           `json:"points"`         // points finished, including resumed ones
+	PointsResumed int           `json:"points_resumed"` //
+	Probes        int           `json:"probes"`         // tuner probes, including cached ones
+	ProbesCached  int           `json:"probes_cached"`  //
+	Runs          int           `json:"runs"`           // simulator runs actually executed
+	Elapsed       time.Duration `json:"elapsed_ns"`     //
+	Err           error         `json:"-"`              // first failure, nil on success
+}
+
+// Observer receives campaign progress events. The runner serializes all
+// calls on a single mutex, so implementations need no locking; they
+// should also return quickly, since they run on the measurement path.
+type Observer interface {
+	// PointStarted fires when a point's measurement run is submitted to
+	// the worker pool (after tuning, if any).
+	PointStarted(Point)
+	// PointFinished fires when a point's metrics are available — from a
+	// completed run, or from the checkpoint on resume.
+	PointFinished(PointResult)
+	// TunerProbe fires for every utilization probe the client tuner
+	// consults, whether simulated or served from the memo.
+	TunerProbe(Probe)
+	// CampaignDone fires exactly once, after the last event.
+	CampaignDone(Summary)
+}
+
+// noop is the Observer used when the spec leaves Observer nil.
+type noop struct{}
+
+func (noop) PointStarted(Point)        {}
+func (noop) PointFinished(PointResult) {}
+func (noop) TunerProbe(Probe)          {}
+func (noop) CampaignDone(Summary)      {}
+
+// multi fans events out to several observers in order.
+type multi []Observer
+
+// Observers combines observers into one that delivers every event to
+// each, in argument order. Nil entries are skipped.
+func Observers(obs ...Observer) Observer {
+	var m multi
+	for _, o := range obs {
+		if o != nil {
+			m = append(m, o)
+		}
+	}
+	return m
+}
+
+func (m multi) PointStarted(p Point) {
+	for _, o := range m {
+		o.PointStarted(p)
+	}
+}
+func (m multi) PointFinished(p PointResult) {
+	for _, o := range m {
+		o.PointFinished(p)
+	}
+}
+func (m multi) TunerProbe(p Probe) {
+	for _, o := range m {
+		o.TunerProbe(p)
+	}
+}
+func (m multi) CampaignDone(s Summary) {
+	for _, o := range m {
+		o.CampaignDone(s)
+	}
+}
+
+// progress renders a single live status line, suitable for stderr.
+type progress struct {
+	w     io.Writer
+	total int
+	done  int
+	runs  int
+	width int
+}
+
+// NewProgress returns an observer that keeps one carriage-return
+// updated status line on w showing points finished out of totalPoints,
+// runs executed, and the latest activity. CampaignDone replaces the
+// line with a final summary and a newline.
+func NewProgress(w io.Writer, totalPoints int) Observer {
+	return &progress{w: w, total: totalPoints}
+}
+
+func (pr *progress) line(activity string) {
+	s := fmt.Sprintf("campaign %d/%d points · %d runs · %s", pr.done, pr.total, pr.runs, activity)
+	if pad := pr.width - len(s); pad > 0 {
+		s += fmt.Sprintf("%*s", pad, "")
+	}
+	pr.width = len(s)
+	fmt.Fprintf(pr.w, "\r%s", s)
+}
+
+func (pr *progress) PointStarted(p Point) {
+	pr.line(fmt.Sprintf("measuring W=%d P=%d c=%d", p.Warehouses, p.Processors, p.Clients))
+}
+
+func (pr *progress) PointFinished(p PointResult) {
+	pr.done++
+	switch {
+	case p.Err != nil:
+		pr.runs++
+		pr.line(fmt.Sprintf("W=%d P=%d failed: %v", p.Warehouses, p.Processors, p.Err))
+	case p.Resumed:
+		pr.line(fmt.Sprintf("W=%d P=%d resumed from checkpoint", p.Warehouses, p.Processors))
+	default:
+		pr.runs++
+		pr.line(fmt.Sprintf("W=%d P=%d c=%d util=%.2f tps=%.0f (%.1fs)",
+			p.Warehouses, p.Processors, p.Clients, p.Metrics.CPUUtil, p.Metrics.TPS,
+			p.Elapsed.Seconds()))
+	}
+}
+
+func (pr *progress) TunerProbe(p Probe) {
+	if !p.Cached {
+		pr.runs++
+	}
+	pr.line(fmt.Sprintf("tuning W=%d P=%d: c=%d util=%.2f", p.Warehouses, p.Processors, p.Clients, p.Util))
+}
+
+func (pr *progress) CampaignDone(s Summary) {
+	status := "done"
+	if s.Err != nil {
+		status = fmt.Sprintf("stopped: %v", s.Err)
+	}
+	pr.line(fmt.Sprintf("%s in %.1fs · %d probes (%d cached) · %d resumed",
+		status, s.Elapsed.Seconds(), s.Probes, s.ProbesCached, s.PointsResumed))
+	fmt.Fprintln(pr.w)
+}
+
+// eventLog writes one JSON object per event — a machine-readable
+// campaign journal.
+type eventLog struct {
+	enc *json.Encoder
+}
+
+// logRecord is the wire format of the event log.
+type logRecord struct {
+	Event      string          `json:"event"`
+	Warehouses int             `json:"w,omitempty"`
+	Processors int             `json:"p,omitempty"`
+	Clients    int             `json:"c,omitempty"`
+	Util       *float64        `json:"util,omitempty"`
+	ElapsedMS  float64         `json:"elapsed_ms,omitempty"`
+	Cached     bool            `json:"cached,omitempty"`
+	Resumed    bool            `json:"resumed,omitempty"`
+	Err        string          `json:"err,omitempty"`
+	Metrics    *system.Metrics `json:"metrics,omitempty"`
+	Summary    *Summary        `json:"summary,omitempty"`
+}
+
+// NewEventLog returns an observer that appends one JSON line per event
+// to w: point_started, point_finished (with full metrics), tuner_probe
+// and campaign_done records.
+func NewEventLog(w io.Writer) Observer {
+	return &eventLog{enc: json.NewEncoder(w)}
+}
+
+func (l *eventLog) PointStarted(p Point) {
+	l.enc.Encode(logRecord{Event: "point_started",
+		Warehouses: p.Warehouses, Processors: p.Processors, Clients: p.Clients})
+}
+
+func (l *eventLog) PointFinished(p PointResult) {
+	rec := logRecord{Event: "point_finished",
+		Warehouses: p.Warehouses, Processors: p.Processors, Clients: p.Clients,
+		ElapsedMS: float64(p.Elapsed) / float64(time.Millisecond), Resumed: p.Resumed}
+	if p.Err != nil {
+		rec.Err = p.Err.Error()
+	} else {
+		m := p.Metrics
+		rec.Metrics = &m
+		util := m.CPUUtil
+		rec.Util = &util
+	}
+	l.enc.Encode(rec)
+}
+
+func (l *eventLog) TunerProbe(p Probe) {
+	util := p.Util
+	l.enc.Encode(logRecord{Event: "tuner_probe",
+		Warehouses: p.Warehouses, Processors: p.Processors, Clients: p.Clients,
+		Util: &util, ElapsedMS: float64(p.Elapsed) / float64(time.Millisecond), Cached: p.Cached})
+}
+
+func (l *eventLog) CampaignDone(s Summary) {
+	rec := logRecord{Event: "campaign_done", Summary: &s}
+	if s.Err != nil {
+		rec.Err = s.Err.Error()
+	}
+	l.enc.Encode(rec)
+}

@@ -2,13 +2,17 @@
 // counts to the ≥90% CPU-utilization methodology (Table 1), runs
 // warehouse × processor sweeps, and assembles the data series behind
 // every figure and table in Sections 4-6.
+//
+// The orchestration itself lives in the campaign package: Sweep and
+// CollectSweeps are thin compatibility wrappers that convert Options
+// into a campaign.Spec and run it through the shared worker pool, and
+// Replicate submits its seeded runs through the same pool.
 package experiment
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
+	"context"
 
+	"odbscale/internal/campaign"
 	"odbscale/internal/system"
 )
 
@@ -75,58 +79,49 @@ func (o Options) config(w, c, p, txns int) system.Config {
 	}
 }
 
+// CampaignSpec converts the options into a campaign specification over
+// the given warehouse and processor axes — the redesigned entry point
+// to sweeps. The spec warm-starts tuner searches and can be extended
+// with a checkpoint path and an observer before handing it to
+// campaign.Run (or the odbscale.RunCampaign facade).
+func (o Options) CampaignSpec(ws, ps []int) campaign.Spec {
+	return campaign.Spec{
+		Machine:     o.Machine,
+		Tuning:      o.Tuning,
+		Seed:        o.Seed,
+		WarmupTxns:  o.WarmupTxns,
+		MeasureTxns: o.MeasureTxns,
+		TuneTxns:    o.TuneTxns,
+		TargetUtil:  o.TargetUtil,
+		MinClients:  o.MinClients,
+		MaxClients:  o.MaxClients,
+		AutoTune:    o.AutoTune,
+		WarmStart:   true,
+		Parallelism: o.Parallelism,
+		Warehouses:  append([]int(nil), ws...),
+		Processors:  append([]int(nil), ps...),
+	}
+}
+
 // TuneClients finds the smallest client count in [MinClients, MaxClients]
 // that reaches TargetUtil for the configuration, following the paper's
 // methodology of masking disk latency with concurrency. If even
 // MaxClients cannot reach the target (an I/O-bound setup), MaxClients is
 // returned with its achieved utilization.
 func (o Options) TuneClients(w, p int) (int, error) {
-	util := func(c int) (float64, error) {
+	probe := func(c int) (float64, error) {
 		m, err := system.Run(o.config(w, c, p, o.TuneTxns))
 		if err != nil {
 			return 0, err
 		}
 		return m.CPUUtil, nil
 	}
-	lo, hi := o.MinClients, o.MinClients
-	u, err := util(hi)
-	if err != nil {
-		return 0, err
-	}
-	if u >= o.TargetUtil {
-		return hi, nil
-	}
-	// Exponential search for an upper bound.
-	for hi < o.MaxClients {
-		lo = hi
-		hi *= 2
-		if hi > o.MaxClients {
-			hi = o.MaxClients
-		}
-		if u, err = util(hi); err != nil {
-			return 0, err
-		}
-		if u >= o.TargetUtil {
-			break
-		}
-	}
-	if u < o.TargetUtil {
-		return o.MaxClients, nil // I/O bound: best effort
-	}
-	// Binary refinement for the minimal satisfying count.
-	for lo+1 < hi {
-		mid := (lo + hi) / 2
-		u, err := util(mid)
-		if err != nil {
-			return 0, err
-		}
-		if u >= o.TargetUtil {
-			hi = mid
-		} else {
-			lo = mid
-		}
-	}
-	return hi, nil
+	return campaign.Tune(probe, campaign.Bounds{
+		Min:    o.MinClients,
+		Max:    o.MaxClients,
+		Start:  o.MinClients,
+		Target: o.TargetUtil,
+	})
 }
 
 // RunPoint measures one (warehouses, processors) configuration with a
@@ -143,33 +138,15 @@ func (o Options) RunPoint(w, p int) (system.Metrics, error) {
 	return system.Run(o.config(w, c, p, o.MeasureTxns))
 }
 
-// Sweep measures every warehouse count for one processor configuration,
-// running points in parallel.
+// Sweep measures every warehouse count for one processor configuration.
+// It is a compatibility wrapper over the campaign runner, which
+// schedules the points (and any tuner probes) on one bounded pool.
 func (o Options) Sweep(ws []int, p int) ([]system.Metrics, error) {
-	out := make([]system.Metrics, len(ws))
-	errs := make([]error, len(ws))
-	par := o.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+	set, err := o.CollectSweeps(ws, []int{p})
+	if err != nil {
+		return nil, err
 	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for i, w := range ws {
-		wg.Add(1)
-		go func(i, w int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = o.RunPoint(w, p)
-		}(i, w)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiment: W=%d P=%d: %w", ws[i], p, err)
-		}
-	}
-	return out, nil
+	return set.ByP[p], nil
 }
 
 // SweepSet is a full campaign: one sweep per processor configuration.
@@ -179,15 +156,32 @@ type SweepSet struct {
 	ByP        map[int][]system.Metrics
 }
 
-// CollectSweeps runs the full campaign.
-func (o Options) CollectSweeps(ws, ps []int) (*SweepSet, error) {
-	set := &SweepSet{Warehouses: ws, Processors: ps, ByP: make(map[int][]system.Metrics)}
-	for _, p := range ps {
-		ms, err := o.Sweep(ws, p)
-		if err != nil {
-			return nil, err
-		}
-		set.ByP[p] = ms
+// SweepSetFrom arranges a campaign result into the SweepSet container
+// the figure and table assemblers consume.
+func SweepSetFrom(res *campaign.Result) *SweepSet {
+	set := &SweepSet{
+		Warehouses: res.Warehouses,
+		Processors: res.Processors,
+		ByP:        make(map[int][]system.Metrics),
 	}
-	return set, nil
+	for _, p := range res.Processors {
+		set.ByP[p] = res.Series(p)
+	}
+	return set
+}
+
+// CollectSweeps runs the full campaign. It is a compatibility wrapper
+// over the campaign runner; use CollectSweepsContext (or campaign.Run
+// directly) for cancellation, checkpointing and progress observation.
+func (o Options) CollectSweeps(ws, ps []int) (*SweepSet, error) {
+	return o.CollectSweepsContext(context.Background(), ws, ps)
+}
+
+// CollectSweepsContext runs the full campaign under a context.
+func (o Options) CollectSweepsContext(ctx context.Context, ws, ps []int) (*SweepSet, error) {
+	res, err := campaign.Run(ctx, o.CampaignSpec(ws, ps))
+	if err != nil {
+		return nil, err
+	}
+	return SweepSetFrom(res), nil
 }

@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
+	"odbscale/internal/campaign"
 	"odbscale/internal/stats"
 	"odbscale/internal/system"
 )
@@ -50,19 +52,28 @@ func gather(ms []system.Metrics, f func(system.Metrics) float64) []float64 {
 // Replicate runs one configuration n times with consecutive seeds and
 // summarizes the spread. The configuration's own seed is the first.
 func Replicate(cfg system.Config, n int) (Replication, error) {
+	return ReplicateContext(context.Background(), cfg, n)
+}
+
+// ReplicateContext is Replicate under a context: the n seeded runs are
+// submitted together through the campaign worker pool and execute
+// concurrently (each run is an isolated deterministic simulation, so
+// the summary is identical to the serial one).
+func ReplicateContext(ctx context.Context, cfg system.Config, n int) (Replication, error) {
 	if n < 2 {
 		return Replication{}, fmt.Errorf("experiment: need at least 2 replicas, got %d", n)
 	}
-	var r Replication
-	for i := 0; i < n; i++ {
+	cfgs := make([]system.Config, n)
+	for i := range cfgs {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)
-		m, err := system.Run(c)
-		if err != nil {
-			return Replication{}, fmt.Errorf("experiment: replica %d: %w", i, err)
-		}
-		r.Runs = append(r.Runs, m)
+		cfgs[i] = c
 	}
+	runs, err := campaign.RunAll(ctx, 0, cfgs)
+	if err != nil {
+		return Replication{}, fmt.Errorf("experiment: replicate: %w", err)
+	}
+	r := Replication{Runs: runs}
 	r.TPS = stats.Summarize(gather(r.Runs, tps))
 	r.CPI = stats.Summarize(gather(r.Runs, cpi))
 	r.MPI = stats.Summarize(gather(r.Runs, mpi))

@@ -66,11 +66,8 @@ func (m *machine) counterSource() perfmon.Source {
 // schedule complete. Results are per-event rate observations with their
 // sampling spread — including the noise the paper reports for rare events.
 func RunEMON(cfg Config, emon perfmon.Config) (Metrics, []perfmon.Result, error) {
-	if cfg.Warehouses < 1 || cfg.Clients < 1 || cfg.Processors < 1 {
-		return Metrics{}, nil, errBadConfig(cfg)
-	}
-	if cfg.MeasureTxns < 1 {
-		return Metrics{}, nil, errNoTxns()
+	if err := validate(cfg); err != nil {
+		return Metrics{}, nil, err
 	}
 	m := build(cfg)
 	m.prefill()

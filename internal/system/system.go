@@ -1,6 +1,8 @@
 package system
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -67,12 +69,27 @@ type ioWaiter struct {
 	write bool
 }
 
-func errBadConfig(cfg Config) error {
-	return fmt.Errorf("system: bad configuration W=%d C=%d P=%d",
-		cfg.Warehouses, cfg.Clients, cfg.Processors)
-}
+// Sentinel errors for configuration validation. They are wrapped with
+// the offending values, so match them with errors.Is.
+var (
+	// ErrBadConfig reports a configuration whose warehouse, client or
+	// processor count is not positive.
+	ErrBadConfig = errors.New("bad configuration")
+	// ErrNoTxns reports a configuration without a positive MeasureTxns.
+	ErrNoTxns = errors.New("MeasureTxns must be positive")
+)
 
-func errNoTxns() error { return fmt.Errorf("system: MeasureTxns must be positive") }
+// validate rejects configurations Run cannot execute.
+func validate(cfg Config) error {
+	if cfg.Warehouses < 1 || cfg.Clients < 1 || cfg.Processors < 1 {
+		return fmt.Errorf("system: %w: W=%d C=%d P=%d",
+			ErrBadConfig, cfg.Warehouses, cfg.Clients, cfg.Processors)
+	}
+	if cfg.MeasureTxns < 1 {
+		return fmt.Errorf("system: %w", ErrNoTxns)
+	}
+	return nil
+}
 
 // capSimCycles bounds a run to 300 simulated seconds, so I/O-bound
 // configurations that cannot reach the transaction target still finish.
@@ -82,16 +99,31 @@ func capSimCycles(cfg Config) sim.Time {
 
 // Run executes one configuration and returns its metrics.
 func Run(cfg Config) (Metrics, error) {
-	if cfg.Warehouses < 1 || cfg.Clients < 1 || cfg.Processors < 1 {
-		return Metrics{}, errBadConfig(cfg)
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes one configuration like Run, honouring the
+// context: when ctx is cancelled mid-simulation the drive loop stops
+// and the context's error is returned instead of metrics. A nil ctx is
+// treated as context.Background().
+func RunContext(ctx context.Context, cfg Config) (Metrics, error) {
+	if err := validate(cfg); err != nil {
+		return Metrics{}, err
 	}
-	if cfg.MeasureTxns < 1 {
-		return Metrics{}, errNoTxns()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Machine construction and prefill are expensive at large warehouse
+	// counts; a context that is already dead skips them entirely.
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
 	}
 	m := build(cfg)
 	m.prefill()
 	m.start()
-	m.drive()
+	if err := m.drive(ctx); err != nil {
+		return Metrics{}, err
+	}
 	return m.metrics(), nil
 }
 
@@ -271,10 +303,18 @@ func (m *machine) start() {
 	m.eng.After(interval, tick)
 }
 
-// drive steps the simulation until the measurement target or the safety
-// cap is reached.
-func (m *machine) drive() {
+// ctxCheckEvery is how many dispatched events pass between context
+// polls in the drive loop — frequent enough that cancellation lands
+// within microseconds of wall time, rare enough to stay off the hot
+// path.
+const ctxCheckEvery = 8192
+
+// drive steps the simulation until the measurement target, the safety
+// cap, or a context cancellation is reached.
+func (m *machine) drive(ctx context.Context) error {
 	capCycles := capSimCycles(m.cfg)
+	done := ctx.Done()
+	steps := 0
 	for m.eng.Step() {
 		if m.txns >= uint64(m.cfg.MeasureTxns) {
 			break
@@ -282,8 +322,17 @@ func (m *machine) drive() {
 		if m.eng.Now() > capCycles {
 			break
 		}
+		if steps++; steps%ctxCheckEvery == 0 && done != nil {
+			select {
+			case <-done:
+				m.sched.Stop()
+				return ctx.Err()
+			default:
+			}
+		}
 	}
 	m.sched.Stop()
+	return nil
 }
 
 // isHot reports whether a block op targets contended structures: district

@@ -1,8 +1,11 @@
 package system
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 )
 
 // fastConfig returns a configuration small enough for unit tests.
@@ -26,13 +29,57 @@ func run(t *testing.T, cfg Config) Metrics {
 }
 
 func TestBadConfigRejected(t *testing.T) {
-	if _, err := Run(Config{}); err == nil {
-		t.Fatal("zero config accepted")
+	if _, err := Run(Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero config: err = %v, want ErrBadConfig", err)
 	}
 	cfg := fastConfig(10, 8, 4)
 	cfg.MeasureTxns = 0
-	if _, err := Run(cfg); err == nil {
-		t.Fatal("zero MeasureTxns accepted")
+	if _, err := Run(cfg); !errors.Is(err, ErrNoTxns) {
+		t.Fatalf("zero MeasureTxns: err = %v, want ErrNoTxns", err)
+	}
+	if errors.Is(ErrBadConfig, ErrNoTxns) {
+		t.Fatal("sentinels must be distinct")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	cfg := fastConfig(200, 30, 4)
+	cfg.MeasureTxns = 200000 // minutes of simulation if cancellation failed
+
+	// A context that is already dead returns before the machine is even
+	// built.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("pre-cancelled run took %v, want immediate return", elapsed)
+	}
+
+	// A deadline that expires during the run stops the drive loop at its
+	// next poll — well before the 200k-transaction measurement would end
+	// (the generous bound covers setup under the race detector).
+	dctx, dcancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer dcancel()
+	start = time.Now()
+	_, err = RunContext(dctx, cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Minute {
+		t.Fatalf("mid-run cancellation took %v", elapsed)
+	}
+
+	a, err := RunContext(context.Background(), fastConfig(25, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := run(t, fastConfig(25, 10, 2))
+	if a.TPS != b.TPS || a.CPI != b.CPI {
+		t.Fatalf("RunContext diverged from Run: %v vs %v", a, b)
 	}
 }
 

@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"io"
 
 	"odbscale/internal/cache"
@@ -13,11 +14,8 @@ import (
 // replayed offline against alternative cache geometries (see package
 // trace and cmd/odbtrace).
 func RunTraced(cfg Config, w io.Writer) (Metrics, uint64, error) {
-	if cfg.Warehouses < 1 || cfg.Clients < 1 || cfg.Processors < 1 {
-		return Metrics{}, 0, errBadConfig(cfg)
-	}
-	if cfg.MeasureTxns < 1 {
-		return Metrics{}, 0, errNoTxns()
+	if err := validate(cfg); err != nil {
+		return Metrics{}, 0, err
 	}
 	tw, err := trace.NewWriter(w)
 	if err != nil {
@@ -34,7 +32,9 @@ func RunTraced(cfg Config, w io.Writer) (Metrics, uint64, error) {
 	}
 	m.prefill()
 	m.start()
-	m.drive()
+	if err := m.drive(context.Background()); err != nil {
+		return Metrics{}, 0, err
+	}
 	if tapErr != nil {
 		return Metrics{}, 0, tapErr
 	}

@@ -15,14 +15,27 @@
 //	m, err := odbscale.Run(cfg)
 //	// m.TPS, m.IPX, m.CPI, m.MPI, m.Breakdown, ...
 //
-// Campaigns (sweeps, client tuning, figure data) live behind Options:
+// Campaigns — warehouse × processor sweeps with ≥90%-utilization client
+// tuning — run through a context-aware scheduler with checkpoint/resume
+// and progress observation:
 //
-//	opts := odbscale.DefaultOptions()
-//	set, err := opts.CollectSweeps(odbscale.StandardWarehouses, []int{1, 2, 4})
+//	spec := odbscale.DefaultCampaignSpec(odbscale.StandardWarehouses, []int{1, 2, 4})
+//	spec.CheckpointPath = "campaign.json" // interrupted campaigns resume
+//	spec.Resume = true
+//	spec.Observer = odbscale.NewCampaignProgress(os.Stderr, len(spec.Warehouses)*len(spec.Processors))
+//	res, err := odbscale.RunCampaign(ctx, spec)
+//	set := odbscale.SweepSetFromCampaign(res)
 //	char, err := set.Characterize(4) // pivot points, extrapolation
+//
+// The legacy Options.CollectSweeps surface remains as a thin wrapper
+// over the same runner.
 package odbscale
 
 import (
+	"context"
+	"io"
+
+	"odbscale/internal/campaign"
 	"odbscale/internal/core"
 	"odbscale/internal/experiment"
 	"odbscale/internal/odb"
@@ -49,6 +62,22 @@ type (
 
 // Run executes one configuration through warm-up and measurement.
 func Run(cfg Config) (Metrics, error) { return system.Run(cfg) }
+
+// RunContext executes one configuration like Run, honouring the
+// context: cancellation stops the simulation's drive loop and returns
+// the context's error.
+func RunContext(ctx context.Context, cfg Config) (Metrics, error) {
+	return system.RunContext(ctx, cfg)
+}
+
+// Sentinel configuration errors, matched with errors.Is.
+var (
+	// ErrBadConfig reports a non-positive warehouse, client or processor
+	// count.
+	ErrBadConfig = system.ErrBadConfig
+	// ErrNoTxns reports a configuration without a positive MeasureTxns.
+	ErrNoTxns = system.ErrNoTxns
+)
 
 // DefaultConfig returns a ready-to-run configuration of the paper's Xeon
 // platform with the given warehouses, clients and processors.
@@ -103,16 +132,84 @@ type (
 	SweepSet = experiment.SweepSet
 )
 
+// The campaign runner: context-aware scheduling of every run in a
+// campaign (measurement points and tuner probes) on one bounded pool,
+// with probe memoization, checkpoint/resume and progress events.
+type (
+	// CampaignSpec describes one campaign: axes, tuning policy,
+	// parallelism, checkpointing and observation.
+	CampaignSpec = campaign.Spec
+	// CampaignResult holds a completed campaign's per-point metrics.
+	CampaignResult = campaign.Result
+	// CampaignObserver receives PointStarted / PointFinished /
+	// TunerProbe / CampaignDone events.
+	CampaignObserver = campaign.Observer
+	// CampaignPoint identifies one measurement configuration.
+	CampaignPoint = campaign.Point
+	// CampaignPointResult carries a finished point's metrics and timing.
+	CampaignPointResult = campaign.PointResult
+	// CampaignProbe is one client-tuner utilization measurement.
+	CampaignProbe = campaign.Probe
+	// CampaignSummary closes a campaign with its run accounting.
+	CampaignSummary = campaign.Summary
+	// CampaignCheckpoint is the serialized resumable campaign state.
+	CampaignCheckpoint = campaign.Checkpoint
+)
+
+// RunCampaign executes a campaign specification: every measurement
+// point and tuner probe is scheduled on one bounded worker pool,
+// completed work persists to spec.CheckpointPath (when set), and
+// cancellation of ctx stops the campaign with the checkpoint intact.
+func RunCampaign(ctx context.Context, spec CampaignSpec) (*CampaignResult, error) {
+	return campaign.Run(ctx, spec)
+}
+
+// DefaultCampaignSpec returns the paper-equivalent campaign over the
+// given warehouse and processor axes (auto-tuned clients, warm-started
+// probes); customize CheckpointPath, Resume and Observer on the result.
+func DefaultCampaignSpec(ws, ps []int) CampaignSpec {
+	return experiment.Defaults().CampaignSpec(ws, ps)
+}
+
+// SweepSetFromCampaign arranges a campaign result into the SweepSet
+// container the figure and table assemblers consume.
+func SweepSetFromCampaign(res *CampaignResult) *SweepSet {
+	return experiment.SweepSetFrom(res)
+}
+
+// NewCampaignProgress returns an observer rendering a live one-line
+// progress display on w (typically os.Stderr).
+func NewCampaignProgress(w io.Writer, totalPoints int) CampaignObserver {
+	return campaign.NewProgress(w, totalPoints)
+}
+
+// NewCampaignEventLog returns an observer appending one JSON line per
+// campaign event to w — a machine-readable campaign journal.
+func NewCampaignEventLog(w io.Writer) CampaignObserver {
+	return campaign.NewEventLog(w)
+}
+
+// CampaignObservers fans events out to several observers in order.
+func CampaignObservers(obs ...CampaignObserver) CampaignObserver {
+	return campaign.Observers(obs...)
+}
+
 // DefaultOptions returns the paper-equivalent campaign settings.
 func DefaultOptions() Options { return experiment.Defaults() }
 
 // Replication summarizes repeated measurements under different seeds.
 type Replication = experiment.Replication
 
-// Replicate runs one configuration n times with consecutive seeds and
-// summarizes the run-to-run spread of the headline metrics.
+// Replicate runs one configuration n times with consecutive seeds —
+// concurrently, through the campaign worker pool — and summarizes the
+// run-to-run spread of the headline metrics.
 func Replicate(cfg Config, n int) (Replication, error) {
 	return experiment.Replicate(cfg, n)
+}
+
+// ReplicateContext is Replicate under a context.
+func ReplicateContext(ctx context.Context, cfg Config, n int) (Replication, error) {
+	return experiment.ReplicateContext(ctx, cfg, n)
 }
 
 // StandardWarehouses is the warehouse axis used by the paper's figures.

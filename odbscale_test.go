@@ -1,7 +1,11 @@
 package odbscale_test
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"math"
+	"path/filepath"
 	"testing"
 
 	"odbscale"
@@ -26,6 +30,59 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 	if err := law.Verify(m.TPS, 0.02); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPublicCampaign drives the documented campaign surface: spec from
+// the facade, checkpointing, progress and event-log observers, resume,
+// and the sweep-set bridge into the figure assemblers.
+func TestPublicCampaign(t *testing.T) {
+	spec := odbscale.DefaultCampaignSpec([]int{10, 25}, []int{1})
+	spec.AutoTune = false // heuristic clients keep the test quick
+	spec.WarmupTxns = 100
+	spec.MeasureTxns = 300
+	spec.CheckpointPath = filepath.Join(t.TempDir(), "campaign.json")
+	var progress, events bytes.Buffer
+	spec.Observer = odbscale.CampaignObservers(
+		odbscale.NewCampaignProgress(&progress, 2),
+		odbscale.NewCampaignEventLog(&events),
+	)
+	res, err := odbscale.RunCampaign(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Runs != 2 || res.Summary.Points != 2 {
+		t.Fatalf("summary = %+v, want 2 runs over 2 points", res.Summary)
+	}
+	if progress.Len() == 0 || events.Len() == 0 {
+		t.Fatal("observers produced no output")
+	}
+	set := odbscale.SweepSetFromCampaign(res)
+	if len(set.ByP[1]) != 2 {
+		t.Fatalf("sweep set has %d points", len(set.ByP[1]))
+	}
+
+	// A second run resumes every point from the checkpoint: zero runs.
+	spec.Resume = true
+	spec.Observer = nil
+	res, err = odbscale.RunCampaign(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Runs != 0 || res.Summary.PointsResumed != 2 {
+		t.Fatalf("resume summary = %+v, want everything restored", res.Summary)
+	}
+}
+
+func TestPublicSentinelErrors(t *testing.T) {
+	_, err := odbscale.Run(odbscale.Config{})
+	if !errors.Is(err, odbscale.ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+	cfg := odbscale.DefaultConfig(10, 8, 1)
+	cfg.MeasureTxns = 0
+	if _, err := odbscale.Run(cfg); !errors.Is(err, odbscale.ErrNoTxns) {
+		t.Fatalf("err = %v, want ErrNoTxns", err)
 	}
 }
 
