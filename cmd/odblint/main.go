@@ -1,0 +1,22 @@
+// Command odblint runs the repository's static-analysis suite: five
+// stdlib-only analyzers enforcing the determinism, cancellation, and
+// numeric-safety invariants the paper reproduction rests on. See
+// internal/lint for the rules and the suppression policy.
+//
+// Usage:
+//
+//	go run ./cmd/odblint ./...
+//
+// Exit status is 0 when the tree is clean, 1 when any rule fires, and
+// 2 on usage or load errors.
+package main
+
+import (
+	"os"
+
+	"odbscale/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

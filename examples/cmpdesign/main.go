@@ -20,9 +20,9 @@ func main() {
 	fmt.Println("processor scaling on the stock platform (1 MB L3, shared FSB):")
 	fmt.Println("P   clients  TPS    speedup  CPI    bus-util  coherence-share")
 	var base float64
-	for _, p := range []int{1, 2, 4, 8} {
+	for i, p := range []int{1, 2, 4, 8} {
 		m := runPoint(w, p, 0)
-		if base == 0 {
+		if i == 0 {
 			base = m.TPS
 		}
 		fmt.Printf("%-3d %-8d %-6.0f %-8.2f %-6.2f %-9.2f %.4f\n",

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"odbscale/internal/clock"
 	"odbscale/internal/system"
 )
 
@@ -167,6 +168,21 @@ type RunFunc func(ctx context.Context, cfg system.Config) (system.Metrics, error
 type Runner struct {
 	Spec    Spec
 	RunFunc RunFunc // nil means system.RunContext
+
+	// Clock supplies the wall time behind the Elapsed fields of
+	// progress events; nil means the real clock. Simulated results
+	// never depend on it — the determinism lint rule keeps time.Now
+	// out of this package, so observability timing must flow through
+	// this injectable funnel.
+	Clock clock.Clock
+}
+
+// clock resolves the runner's wall-clock source.
+func (r *Runner) clock() clock.Clock {
+	if r.Clock != nil {
+		return r.Clock
+	}
+	return clock.Wall()
 }
 
 // Run executes the campaign described by spec. It is shorthand for
@@ -276,7 +292,8 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	started := time.Now()
+	clk := r.clock()
+	started := clk.Now()
 	em := &emitter{obs: obs}
 	pl := newPool(spec.Parallelism)
 	res := &Result{
@@ -314,7 +331,7 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	}
 	wg.Wait()
 
-	sum := em.done(time.Since(started), firstErr)
+	sum := em.done(clk.Since(started), firstErr)
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -329,6 +346,7 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emitter,
 	runFn RunFunc, wg *sync.WaitGroup, fail func(error), record func(PointKey, system.Metrics)) {
 	spec := &r.Spec
+	clk := r.clock()
 	prevW, floor := -1, spec.MinClients
 	for _, w := range spec.Warehouses {
 		if ctx.Err() != nil {
@@ -377,9 +395,9 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 			defer wg.Done()
 			point := Point{Warehouses: w, Processors: p, Clients: c}
 			em.pointStarted(point)
-			t0 := time.Now()
+			t0 := clk.Now()
 			m, err := pl.run(ctx, runFn, spec.config(w, c, p, spec.MeasureTxns))
-			elapsed := time.Since(t0)
+			elapsed := clk.Since(t0)
 			if err != nil {
 				em.pointFinished(PointResult{Point: point, Elapsed: elapsed, Err: err})
 				fail(fmt.Errorf("campaign: W=%d P=%d: %w", w, p, err))
@@ -400,18 +418,19 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 func (r *Runner) tunePoint(ctx context.Context, pl *pool, ck *ckStore, em *emitter,
 	runFn RunFunc, w, p, start int) (int, error) {
 	spec := &r.Spec
+	clk := r.clock()
 	probe := func(c int) (float64, error) {
 		if u, ok := ck.probe(w, p, c); ok {
 			em.tunerProbe(Probe{Warehouses: w, Processors: p, Clients: c, Util: u, Cached: true})
 			return u, nil
 		}
-		t0 := time.Now()
+		t0 := clk.Now()
 		m, err := pl.run(ctx, runFn, spec.config(w, c, p, spec.TuneTxns))
 		if err != nil {
 			return 0, err
 		}
 		u := m.CPUUtil
-		em.tunerProbe(Probe{Warehouses: w, Processors: p, Clients: c, Util: u, Elapsed: time.Since(t0)})
+		em.tunerProbe(Probe{Warehouses: w, Processors: p, Clients: c, Util: u, Elapsed: clk.Since(t0)})
 		if err := ck.addProbe(w, p, c, u); err != nil {
 			return 0, err
 		}

@@ -42,8 +42,8 @@ func (l IronLaw) TPS() float64 {
 		return 0
 	}
 	u := l.Utilization
-	if u == 0 {
-		u = 1
+	if u <= 0 {
+		u = 1 // unset utilization: assume fully busy processors
 	}
 	return u * float64(l.Processors) * l.FrequencyHz / (l.IPX * l.CPI)
 }
@@ -60,7 +60,7 @@ func (l IronLaw) String() string {
 // the given relative tolerance, returning a descriptive error otherwise.
 func (l IronLaw) Verify(measuredTPS, tolerance float64) error {
 	predicted := l.TPS()
-	if predicted == 0 {
+	if predicted <= 0 {
 		return errors.New("core: iron law terms incomplete")
 	}
 	rel := math.Abs(measuredTPS-predicted) / predicted
@@ -75,7 +75,7 @@ func (l IronLaw) Verify(measuredTPS, tolerance float64) error {
 // (for example, the same workload on more processors).
 func Speedup(after, before IronLaw) float64 {
 	b := before.TPS()
-	if b == 0 {
+	if b <= 0 {
 		return 0
 	}
 	return after.TPS() / b

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoop enforces the campaign drive-loop contract: a function that
+// accepts a context.Context must not contain an unbounded for loop —
+// `for { ... }` or `for cond { ... }` — that never consults the
+// context. Such a loop keeps simulating after the campaign is
+// cancelled, which is exactly the hang the context plumbing exists to
+// prevent. A loop passes when its body references the context
+// parameter (ctx.Err(), ctx.Done(), passing ctx on) or a value derived
+// from it (done := ctx.Done()).
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc: "flag unbounded for loops in context-taking functions that " +
+		"never check ctx.Err()/ctx.Done()",
+	Run: runCtxLoop,
+}
+
+// ctxParams returns the objects of the context.Context parameters, and
+// whether any context parameter is unnamed or blank (accepted but
+// unobservable).
+func ctxParams(info *types.Info, ftype *ast.FuncType) (objs []types.Object, discarded bool) {
+	if ftype.Params == nil {
+		return nil, false
+	}
+	for _, field := range ftype.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			discarded = true
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				discarded = true
+				continue
+			}
+			if obj := info.Defs[name]; obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs, discarded
+}
+
+// derivedFrom grows the seed object set with every variable assigned
+// from an expression that references a tracked object, to a fixpoint:
+// done := ctx.Done() makes done count as a context check.
+func derivedFrom(info *types.Info, body *ast.BlockStmt, seeds []types.Object) map[types.Object]bool {
+	tracked := make(map[types.Object]bool, len(seeds))
+	for _, o := range seeds {
+		tracked[o] = true
+	}
+	refs := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && tracked[info.ObjectOf(id)] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	for grew := true; grew; {
+		grew = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				fromCtx := false
+				for _, rhs := range st.Rhs {
+					if refs(rhs) {
+						fromCtx = true
+						break
+					}
+				}
+				if !fromCtx {
+					return true
+				}
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := info.ObjectOf(id); obj != nil && !tracked[obj] {
+							tracked[obj] = true
+							grew = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				fromCtx := false
+				for _, v := range st.Values {
+					if refs(v) {
+						fromCtx = true
+						break
+					}
+				}
+				if !fromCtx {
+					return true
+				}
+				for _, name := range st.Names {
+					if obj := info.ObjectOf(name); obj != nil && !tracked[obj] {
+						tracked[obj] = true
+						grew = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tracked
+}
+
+func runCtxLoop(pass *Pass) {
+	for _, f := range pass.Files {
+		forEachFunc(f, func(_ string, ftype *ast.FuncType, body *ast.BlockStmt) {
+			objs, discarded := ctxParams(pass.Info, ftype)
+			if len(objs) == 0 && !discarded {
+				return
+			}
+			tracked := derivedFrom(pass.Info, body, objs)
+			ast.Inspect(body, func(n ast.Node) bool {
+				// A nested function with its own context parameter is
+				// responsible for its own loops.
+				if fl, ok := n.(*ast.FuncLit); ok {
+					if inner, innerDiscarded := ctxParams(pass.Info, fl.Type); len(inner) > 0 || innerDiscarded {
+						return false
+					}
+					return true
+				}
+				loop, ok := n.(*ast.ForStmt)
+				if !ok {
+					return true
+				}
+				unbounded := loop.Cond == nil || (loop.Init == nil && loop.Post == nil)
+				if !unbounded {
+					return true
+				}
+				checked := false
+				check := func(e ast.Node) {
+					ast.Inspect(e, func(n ast.Node) bool {
+						if id, ok := n.(*ast.Ident); ok && tracked[pass.Info.ObjectOf(id)] {
+							checked = true
+						}
+						return !checked
+					})
+				}
+				if loop.Cond != nil {
+					check(loop.Cond)
+				}
+				if !checked {
+					check(loop.Body)
+				}
+				if !checked {
+					if discarded && len(objs) == 0 {
+						pass.Reportf(loop.Pos(), "unbounded for loop in a function that discards its context.Context parameter")
+					} else {
+						pass.Reportf(loop.Pos(), "unbounded for loop never checks ctx.Err()/ctx.Done(); cancellation cannot stop it")
+					}
+				}
+				return true
+			})
+		})
+	}
+}

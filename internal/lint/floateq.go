@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags == and != between floating-point operands outside test
+// files. Utilizations, CPIs, and miss ratios come out of long
+// accumulation chains, so exact equality is either vacuous or a
+// latent off-by-one-ulp bug; compare through the sanctioned tolerance
+// helpers in internal/stats (stats.Close), which are themselves exempt.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= between floating-point operands outside tests; " +
+		"compare with stats.Close",
+	Run: runFloatEq,
+}
+
+// toleranceHelpers names the functions allowed to compare floats
+// exactly: the internal/stats helpers that implement the tolerance
+// itself (an exact fast path before the epsilon test).
+var toleranceHelpers = map[string]bool{"Close": true, "Within": true}
+
+func runFloatEq(pass *Pass) {
+	statsPkg := pass.Path == "odbscale/internal/stats"
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		// Collect the source ranges of exempt tolerance helpers.
+		type span struct{ lo, hi token.Pos }
+		var exempt []span
+		if statsPkg {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if ok && fd.Recv == nil && toleranceHelpers[fd.Name.Name] {
+					exempt = append(exempt, span{fd.Pos(), fd.End()})
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := pass.Info.Types[be.X], pass.Info.Types[be.Y]
+			if !isFloat(tx.Type) || !isFloat(ty.Type) {
+				return true
+			}
+			if tx.Value != nil && ty.Value != nil {
+				return true // both constant: decided at compile time
+			}
+			for _, s := range exempt {
+				if be.Pos() >= s.lo && be.Pos() < s.hi {
+					return true
+				}
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison; use a tolerance (stats.Close) or restructure the check", be.Op)
+			return true
+		})
+	}
+}

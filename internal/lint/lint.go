@@ -1,0 +1,200 @@
+// Package lint implements odblint, the repository's stdlib-only static
+// analysis driver. The paper's pivot-point methodology assumes every
+// (W, P) measurement is exactly reproducible, so the simulator enforces
+// a handful of hygiene invariants — all entropy flows through
+// internal/xrand, map iteration never orders output, sentinel errors
+// are matched with errors.Is, floats are never compared with ==, and
+// context-taking loops observe cancellation. odblint turns those
+// conventions into machine-checked rules.
+//
+// The driver is written only against the standard library (go/parser,
+// go/ast, go/types, go/token): the module has zero dependencies and
+// must stay that way, so packages are loaded and type-checked with a
+// custom module-aware importer that falls back to the stdlib source
+// importer.
+//
+// Findings print as "file:line: [rule] message" and any finding makes
+// the driver exit non-zero. A finding may be suppressed by a
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// comment on the offending line or the line directly above it; the
+// reason is mandatory.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Finding is one rule violation at a source position.
+type Finding struct {
+	File string
+	Line int
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the driver's one-line format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Msg)
+}
+
+// An Analyzer is one lint rule: a named check run over a type-checked
+// package unit.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full rule set in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, MapOrder, SentinelErr, FloatEq, CtxLoop}
+}
+
+// A Pass hands one type-checked unit to an analyzer and collects its
+// findings.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the unit's import path; scoped rules (determinism) key
+	// off it.
+	Path     string
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		File: position.Filename,
+		Line: position.Line,
+		Rule: p.Analyzer.Name,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos sits in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// unit is one analysis target: a parsed, fully type-checked set of
+// files belonging to a single package.
+type unit struct {
+	path  string
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// runUnit applies the analyzers to a unit and filters the result
+// through the unit's //lint:ignore directives.
+func runUnit(u *unit, analyzers []*Analyzer) []Finding {
+	var fs []Finding
+	for _, a := range analyzers {
+		a.Run(&Pass{
+			Analyzer: a,
+			Fset:     u.fset,
+			Path:     u.path,
+			Files:    u.files,
+			Pkg:      u.pkg,
+			Info:     u.info,
+			findings: &fs,
+		})
+	}
+	idx, bad := collectDirectives(u.fset, u.files)
+	fs = filterSuppressed(fs, idx)
+	fs = append(fs, bad...)
+	return fs
+}
+
+// sortFindings orders findings for deterministic output.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// directiveIndex maps file -> line -> set of rule names ignored there.
+type directiveIndex map[string]map[int]map[string]bool
+
+// collectDirectives scans the unit's comments for //lint:ignore
+// directives. Malformed directives (missing rule or reason) are
+// returned as findings under the pseudo-rule "lint".
+func collectDirectives(fset *token.FileSet, files []*ast.File) (directiveIndex, []Finding) {
+	idx := make(directiveIndex)
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				const prefix = "//lint:ignore"
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, prefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						File: pos.Filename,
+						Line: pos.Line,
+						Rule: "lint",
+						Msg:  "malformed //lint:ignore directive: want \"//lint:ignore <rule> <reason>\"",
+					})
+					continue
+				}
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					idx[pos.Filename] = byLine
+				}
+				rules := byLine[pos.Line]
+				if rules == nil {
+					rules = make(map[string]bool)
+					byLine[pos.Line] = rules
+				}
+				for _, r := range strings.Split(fields[0], ",") {
+					rules[r] = true
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// filterSuppressed drops findings covered by a directive on the same
+// line (trailing comment) or the line directly above.
+func filterSuppressed(fs []Finding, idx directiveIndex) []Finding {
+	if len(idx) == 0 {
+		return fs
+	}
+	kept := fs[:0]
+	for _, f := range fs {
+		byLine := idx[f.File]
+		if byLine != nil && (byLine[f.Line][f.Rule] || byLine[f.Line-1][f.Rule]) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}

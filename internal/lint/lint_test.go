@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the expected-findings golden files")
+
+// checker is shared across tests so the standard library is
+// type-checked from source only once.
+var checker = NewChecker()
+
+// runFixture lints one testdata directory under the given import path
+// and returns the findings formatted as "base:line: [rule] msg".
+func runFixture(t *testing.T, dir, asPath string) []string {
+	t.Helper()
+	findings, err := checker.CheckDir(filepath.Join("testdata", dir), asPath, All())
+	if err != nil {
+		t.Fatalf("CheckDir(%s): %v", dir, err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, fmt.Sprintf("%s:%d: [%s] %s", filepath.Base(f.File), f.Line, f.Rule, f.Msg))
+	}
+	return got
+}
+
+// checkGolden compares findings against testdata/<dir>/expected.txt,
+// rewriting the file under -update.
+func checkGolden(t *testing.T, dir string, got []string) {
+	t.Helper()
+	golden := filepath.Join("testdata", dir, "expected.txt")
+	if *update {
+		data := strings.Join(got, "\n")
+		if data != "" {
+			data += "\n"
+		}
+		if err := os.WriteFile(golden, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	var want []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			want = append(want, line)
+		}
+	}
+	if gotJoined, wantJoined := strings.Join(got, "\n"), strings.Join(want, "\n"); gotJoined != wantJoined {
+		t.Errorf("findings mismatch for %s:\n--- got ---\n%s\n--- want ---\n%s", dir, gotJoined, wantJoined)
+	}
+}
+
+// simScope is a determinism-scoped package path the fixtures borrow.
+const simScope = "odbscale/internal/sim"
+
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		dir    string
+		asPath string
+	}{
+		// Each rule's positive and negative corpus: pos.go lines land
+		// in the golden file, neg.go (and *_test.go exemptions)
+		// contribute nothing.
+		{"determinism", simScope},
+		{"maporder", "odbscale/internal/lint/fixture/maporder"},
+		{"sentinelerr", "odbscale/internal/lint/fixture/sentinelerr"},
+		{"floateq", "odbscale/internal/lint/fixture/floateq"},
+		{"tolerant", "odbscale/internal/stats"},
+		{"ctxloop", "odbscale/internal/lint/fixture/ctxloop"},
+		{"suppress", "odbscale/internal/lint/fixture/suppress"},
+		{"malformed", "odbscale/internal/lint/fixture/malformed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			checkGolden(t, tc.dir, runFixture(t, tc.dir, tc.asPath))
+		})
+	}
+}
+
+// TestDeterminismScope loads the determinism corpus outside the
+// simulator packages: the same entropy calls must not be flagged.
+func TestDeterminismScope(t *testing.T) {
+	if got := runFixture(t, "determinism", "odbscale/internal/lint/fixture/unscoped"); len(got) != 0 {
+		t.Errorf("determinism fired outside its package scope:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+// TestToleranceHelperScope loads the tolerance-helper corpus outside
+// internal/stats: with the exemption gone, Close and Within are
+// flagged like any other function.
+func TestToleranceHelperScope(t *testing.T) {
+	got := runFixture(t, "tolerant", "odbscale/internal/lint/fixture/tolerant")
+	// close.go holds three == comparisons (Close, Within, Leaky); all
+	// must fire outside the stats package.
+	if len(got) != 3 {
+		t.Errorf("want 3 floateq findings outside internal/stats, got %d:\n%s",
+			len(got), strings.Join(got, "\n"))
+	}
+}
+
+// TestSuppressionRequiresReason double-checks the malformed corpus:
+// the bad directive is itself a finding and does not suppress.
+func TestSuppressionRequiresReason(t *testing.T) {
+	got := runFixture(t, "malformed", "odbscale/internal/lint/fixture/malformed")
+	var rules []string
+	for _, line := range got {
+		rules = append(rules, line[strings.Index(line, "["):])
+	}
+	joined := strings.Join(got, "\n")
+	if len(got) != 2 || !strings.Contains(joined, "[lint]") || !strings.Contains(joined, "[floateq]") {
+		t.Errorf("want one [lint] and one [floateq] finding, got %v", rules)
+	}
+}
+
+// TestMainExitCodes drives the odblint entry point end to end: a
+// fixture with violations exits 1 and prints findings, a suppressed
+// fixture exits 0, and a bad pattern exits 2.
+func TestMainExitCodes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"testdata/sentinelerr"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("Main on a dirty fixture = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[sentinelerr]") {
+		t.Errorf("findings missing from stdout:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := Main([]string{"testdata/suppress"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("Main on a suppressed fixture = %d, want 0\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := Main([]string{"testdata/does-not-exist"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("Main on a missing dir = %d, want 2", code)
+	}
+}
+
+// TestListRules keeps the -list surface alive for the CI wiring.
+func TestListRules(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("Main(-list) = %d, want 0", code)
+	}
+	for _, a := range All() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing rule %q", a.Name)
+		}
+	}
+}

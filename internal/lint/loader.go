@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Checker owns the shared state of a lint run: one FileSet covering
+// every parsed file and one stdlib source importer (Go distributions no
+// longer ship compiled export data, so the standard library is
+// type-checked from $GOROOT/src on first use and cached).
+type Checker struct {
+	fset *token.FileSet
+	std  types.Importer
+}
+
+// NewChecker builds a checker with a fresh FileSet.
+func NewChecker() *Checker {
+	fset := token.NewFileSet()
+	return &Checker{fset: fset, std: importer.ForCompiler(fset, "source", nil)}
+}
+
+// newInfo allocates the types.Info maps the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// check type-checks files as import path path, resolving imports with
+// imp.
+func (c *Checker) check(path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, c.fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// parseDir parses every .go file in dir, split into the non-test
+// files, in-package test files, and external (package foo_test) test
+// files.
+func (c *Checker) parseDir(dir string) (nonTest, inTest, extTest []*ast.File, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	pkgName := ""
+	for _, name := range names {
+		f, perr := parser.ParseFile(c.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, nil, nil, perr
+		}
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			if pkgName == "" {
+				pkgName = f.Name.Name
+			}
+			nonTest = append(nonTest, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			extTest = append(extTest, f)
+		default:
+			inTest = append(inTest, f)
+		}
+	}
+	return nonTest, inTest, extTest, nil
+}
+
+// CheckDir type-checks the files of a single directory as import path
+// asPath — imports resolve against the standard library only — and
+// runs the analyzers over all of them (test files included). It is the
+// entry point the fixture tests use.
+func (c *Checker) CheckDir(dir, asPath string, analyzers []*Analyzer) ([]Finding, error) {
+	nonTest, inTest, extTest, err := c.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	files := append(append(nonTest, inTest...), extTest...)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg, info, err := c.check(asPath, files, c.std)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
+	}
+	fs := runUnit(&unit{path: asPath, fset: c.fset, files: files, pkg: pkg, info: info}, analyzers)
+	sortFindings(fs)
+	return fs, nil
+}
+
+// Module is a loaded Go module: the root directory, the module path,
+// and the lazily type-checked packages inside it.
+type Module struct {
+	c    *Checker
+	Root string
+	Path string
+
+	// dirs maps import path -> directory for every discoverable
+	// package directory (testdata and hidden directories excluded).
+	dirs map[string]string
+
+	facing   map[string]*types.Package // import-facing (non-test) packages
+	checking map[string]bool           // import cycle detection
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// LoadModule locates the module containing start (walking up to the
+// nearest go.mod) and indexes its package directories.
+func LoadModule(c *Checker, start string) (*Module, error) {
+	root, err := filepath.Abs(start)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", start)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	m := &Module{
+		c:        c,
+		Root:     root,
+		Path:     modPath,
+		dirs:     make(map[string]string),
+		facing:   make(map[string]*types.Package),
+		checking: make(map[string]bool),
+	}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				m.dirs[m.importPath(path)] = path
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// importPath derives the import path of a directory inside the module.
+func (m *Module) importPath(dir string) string {
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil || rel == "." {
+		return m.Path
+	}
+	return m.Path + "/" + filepath.ToSlash(rel)
+}
+
+// inModule reports whether path names a package of this module.
+func (m *Module) inModule(path string) bool {
+	return path == m.Path || strings.HasPrefix(path, m.Path+"/")
+}
+
+// importPkg resolves one import for the type-checker: module-internal
+// packages type-check recursively from source (non-test files only, as
+// the compiler would export them); everything else falls through to
+// the stdlib source importer.
+func (m *Module) importPkg(path string) (*types.Package, error) {
+	if !m.inModule(path) {
+		return m.c.std.Import(path)
+	}
+	if pkg, ok := m.facing[path]; ok {
+		return pkg, nil
+	}
+	if m.checking[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	dir, ok := m.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("package %s is not in module %s", path, m.Path)
+	}
+	m.checking[path] = true
+	defer delete(m.checking, path)
+	nonTest, _, _, err := m.c.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(nonTest) == 0 {
+		return nil, fmt.Errorf("package %s has no non-test Go files", path)
+	}
+	pkg, _, err := m.c.check(path, nonTest, importerFunc(m.importPkg))
+	if err != nil {
+		return nil, err
+	}
+	m.facing[path] = pkg
+	return pkg, nil
+}
+
+// LoadUnits parses and type-checks the package in dir as its analysis
+// units: the package with its in-package test files, plus — when one
+// exists — the external _test package.
+func (m *Module) LoadUnits(dir string) ([]*unit, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := m.importPath(abs)
+	nonTest, inTest, extTest, err := m.c.parseDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var units []*unit
+	if files := append(append([]*ast.File(nil), nonTest...), inTest...); len(files) > 0 {
+		pkg, info, err := m.c.check(path, files, importerFunc(m.importPkg))
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", path, err)
+		}
+		units = append(units, &unit{path: path, fset: m.c.fset, files: files, pkg: pkg, info: info})
+	}
+	if len(extTest) > 0 {
+		tpath := path + "_test"
+		pkg, info, err := m.c.check(tpath, extTest, importerFunc(m.importPkg))
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", tpath, err)
+		}
+		units = append(units, &unit{path: path, fset: m.c.fset, files: extTest, pkg: pkg, info: info})
+	}
+	return units, nil
+}
+
+// Expand resolves a command-line package pattern to directories:
+// "./..." (every package in the module), "dir/..." (every package
+// under dir), or a single directory.
+func (m *Module) Expand(pat string) ([]string, error) {
+	all := func(under string) []string {
+		var dirs []string
+		for _, d := range m.dirs {
+			if d == under || strings.HasPrefix(d, under+string(filepath.Separator)) {
+				dirs = append(dirs, d)
+			}
+		}
+		sort.Strings(dirs)
+		return dirs
+	}
+	switch {
+	case pat == "./..." || pat == "...":
+		return all(m.Root), nil
+	case strings.HasSuffix(pat, "/..."):
+		base, err := filepath.Abs(strings.TrimSuffix(pat, "/..."))
+		if err != nil {
+			return nil, err
+		}
+		dirs := all(base)
+		if len(dirs) == 0 {
+			return nil, fmt.Errorf("no packages match %s", pat)
+		}
+		return dirs, nil
+	default:
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		if st, err := os.Stat(abs); err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("%s is not a package directory", pat)
+		}
+		return []string{abs}, nil
+	}
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `for range` loops over maps whose body feeds ordered
+// output — appending to a slice, printing, or encoding — with no sort
+// later in the same function. Go randomizes map iteration order, so
+// such loops make output (figures, tables, checkpoints, JSON events)
+// differ run to run even under a fixed seed.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration that appends to slices or writes output " +
+		"without a subsequent sort",
+	Run: runMapOrder,
+}
+
+// outputSink classifies a call inside a map-range body as one that
+// makes iteration order observable.
+func outputSink(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if isAppend(info, call) {
+		return "appends to a slice", true
+	}
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return "", false
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return "writes formatted output", true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch name {
+		case "Encode", "Write", "WriteString", "WriteByte", "WriteRune":
+			return "writes encoded output", true
+		}
+	}
+	return "", false
+}
+
+// sortsAfter reports whether the function body contains a sort call
+// positioned after the loop: sort.* / slices.* package functions, or
+// any method named Sort.
+func sortsAfter(info *types.Info, body *ast.BlockStmt, loop *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < loop.End() {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+			found = true
+		} else if fn.Name() == "Sort" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		forEachFunc(f, func(_ string, _ *ast.FuncType, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				// Nested functions get their own forEachFunc visit with
+				// their own body as the sort horizon.
+				if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+					return false
+				}
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				sink, sinkPos := "", rs.Pos()
+				ast.Inspect(rs.Body, func(n ast.Node) bool {
+					if sink != "" {
+						return false
+					}
+					if call, ok := n.(*ast.CallExpr); ok {
+						if s, bad := outputSink(pass.Info, call); bad {
+							sink, sinkPos = s, call.Pos()
+						}
+					}
+					return sink == ""
+				})
+				if sink == "" || sortsAfter(pass.Info, body, rs) {
+					return true
+				}
+				pass.Reportf(sinkPos,
+					"map iteration order %s; collect the keys and sort before emitting, or sort after the loop", sink)
+				return true
+			})
+		})
+	}
+}

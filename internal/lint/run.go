@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Run lints the packages matched by the patterns (resolved against the
+// module containing start) with the full rule set and returns the
+// findings, sorted, with file paths relative to start when possible.
+func Run(start string, patterns []string) ([]Finding, error) {
+	c := NewChecker()
+	mod, err := LoadModule(c, start)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	for _, pat := range patterns {
+		expanded, err := mod.Expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range expanded {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	sort.Strings(dirs)
+	analyzers := All()
+	var findings []Finding
+	for _, dir := range dirs {
+		units, err := mod.LoadUnits(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range units {
+			findings = append(findings, runUnit(u, analyzers)...)
+		}
+	}
+	if abs, err := filepath.Abs(start); err == nil {
+		for i := range findings {
+			if rel, err := filepath.Rel(abs, findings[i].File); err == nil && !filepath.IsAbs(rel) {
+				findings[i].File = rel
+			}
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// Main is the odblint command: lint the given package patterns
+// (default ./...) and print findings to stdout. The exit code is 0 for
+// a clean tree, 1 when there are findings, and 2 on usage or load
+// errors.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("odblint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the rules and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: odblint [-list] [packages]\n\nRules:\n")
+		for _, a := range All() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "odblint:", err)
+		return 2
+	}
+	findings, err := Run(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "odblint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "odblint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

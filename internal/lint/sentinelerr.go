@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SentinelErr flags `err == ErrX` / `err != ErrX` comparisons between
+// error values. Callers up the stack wrap sentinels with fmt.Errorf
+// ("%w") — the campaign runner wraps system.ErrBadConfig and
+// system.ErrNoTxns that way — so identity comparison silently stops
+// matching; errors.Is follows the wrap chain.
+var SentinelErr = &Analyzer{
+	Name: "sentinelerr",
+	Doc:  "flag ==/!= between error values; match sentinels with errors.Is",
+	Run:  runSentinelErr,
+}
+
+func runSentinelErr(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := pass.Info.Types[be.X], pass.Info.Types[be.Y]
+			if tx.IsNil() || ty.IsNil() {
+				return true // err == nil is the idiomatic success check
+			}
+			if !types.Identical(tx.Type, errorType) || !types.Identical(ty.Type, errorType) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "error compared with %s; use errors.Is to match wrapped sentinels", be.Op)
+			return true
+		})
+	}
+}

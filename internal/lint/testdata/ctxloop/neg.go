@@ -1,0 +1,66 @@
+package fixture
+
+import "context"
+
+// Polite checks ctx.Err() every iteration.
+func Polite(ctx context.Context, step func() bool) error {
+	for step() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Derived checks a channel obtained from the context before the loop —
+// the drive-loop shape the campaign runner uses.
+func Derived(ctx context.Context, step func() bool) {
+	done := ctx.Done()
+	for step() {
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+// Selected blocks on ctx.Done() directly.
+func Selected(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for {
+		select {
+		case v := <-ch:
+			total += v
+		case <-ctx.Done():
+			return total
+		}
+	}
+}
+
+// Bounded uses a three-clause loop, which terminates by construction.
+func Bounded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// NoCtx takes no context, so the rule does not apply.
+func NoCtx(step func() bool) {
+	for step() {
+	}
+}
+
+// InnerOwns delegates looping to a literal with its own context
+// parameter, which is responsible for its own cancellation checks.
+func InnerOwns(ctx context.Context) func(context.Context, func() bool) {
+	return func(inner context.Context, step func() bool) {
+		for step() {
+			if inner.Err() != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Package fixture is a lint test corpus for the ctxloop rule.
+package fixture
+
+import "context"
+
+// Spin loops forever without ever consulting its context.
+func Spin(ctx context.Context, work func() bool) {
+	for {
+		if !work() {
+			return
+		}
+	}
+}
+
+// Drain runs a condition-only loop that ignores cancellation.
+func Drain(ctx context.Context, step func() bool) {
+	for step() {
+	}
+}
+
+// Discarded accepts a context only to throw it away.
+func Discarded(_ context.Context, step func() bool) {
+	for step() {
+	}
+}

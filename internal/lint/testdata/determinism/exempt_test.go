@@ -1,0 +1,7 @@
+package fixture
+
+import "time"
+
+// Test files are exempt from the determinism rule: wall time in test
+// scaffolding does not touch simulated results.
+func wallClockInTest() time.Time { return time.Now() }

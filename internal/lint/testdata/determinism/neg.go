@@ -1,0 +1,14 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Seeded uses only explicitly seeded sources and duration arithmetic:
+// constructors and methods on a seeded *rand.Rand are allowed, and
+// time values handed in from outside carry no ambient entropy.
+func Seeded(seed int64, t time.Time) (float64, time.Time) {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64(), t.Add(5 * time.Millisecond)
+}

@@ -1,0 +1,19 @@
+// Package fixture is a lint test corpus. Loaded as a simulator
+// package path, every call below violates the determinism rule.
+package fixture
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Entropy draws from every banned ambient source.
+func Entropy() (int, float64, time.Duration, int) {
+	n := rand.Intn(10)
+	f := rand.Float64()
+	now := time.Now()
+	el := time.Since(now)
+	pid := os.Getpid()
+	return n + pid, f, el, pid
+}

@@ -1,0 +1,5 @@
+package fixture
+
+// Test files are exempt from the floateq rule: asserting an exact
+// expected value in a test is deliberate.
+func exactInTest(got float64) bool { return got == 42.0 }

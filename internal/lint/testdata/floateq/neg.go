@@ -1,0 +1,18 @@
+package fixture
+
+const eps = 1e-9
+
+// SameInt compares integers, which is exact.
+func SameInt(a, b int) bool { return a == b }
+
+// ConstCheck is decided at compile time: both operands are constants.
+func ConstCheck() bool { return eps == 1e-9 }
+
+// CloseEnough is the sanctioned shape: an explicit tolerance.
+func CloseEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}

@@ -1,0 +1,15 @@
+// Package fixture is a lint test corpus for the floateq rule.
+package fixture
+
+// Same compares floats bit-exactly.
+func Same(a, b float64) bool { return a == b }
+
+// NotZero compares a float variable against a constant.
+func NotZero(x float64) bool { return x != 0 }
+
+// Ratio is a defined floating-point type; equality on it is equally
+// fragile.
+type Ratio float64
+
+// Equal compares defined float types.
+func Equal(r, s Ratio) bool { return r == s }

@@ -1,0 +1,7 @@
+// Package fixture holds a malformed suppression directive: it names a
+// rule but gives no reason, so the directive itself is reported and
+// the violation it hoped to hide stays reported too.
+package fixture
+
+//lint:ignore floateq
+func Same(a, b float64) bool { return a == b }

@@ -1,0 +1,33 @@
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KeysSorted collects then sorts, so the emitted order is
+// deterministic.
+func KeysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total only reduces; iteration order cannot be observed.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SliceRange iterates a slice, not a map.
+func SliceRange(xs []int) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}

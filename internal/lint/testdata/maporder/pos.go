@@ -1,0 +1,20 @@
+// Package fixture is a lint test corpus for the maporder rule.
+package fixture
+
+import "fmt"
+
+// KeysUnsorted feeds map iteration order straight into a slice.
+func KeysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// PrintUnsorted writes map entries in iteration order.
+func PrintUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,13 @@
+package fixture
+
+import (
+	"errors"
+	"io"
+)
+
+// Ok and Failed use the idiomatic nil comparison, which stays legal.
+func Ok(err error) bool     { return err == nil }
+func Failed(err error) bool { return err != nil }
+
+// AtEOF matches through the wrap chain.
+func AtEOF(err error) bool { return errors.Is(err, io.EOF) }

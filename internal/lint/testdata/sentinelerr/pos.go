@@ -1,0 +1,22 @@
+// Package fixture is a lint test corpus for the sentinelerr rule.
+package fixture
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrBad is a local sentinel.
+var ErrBad = errors.New("fixture: bad")
+
+// Classify compares errors by identity, which breaks once a caller
+// wraps the sentinel with fmt.Errorf("%w").
+func Classify(err error) int {
+	if err == io.EOF {
+		return 0
+	}
+	if err != ErrBad {
+		return 1
+	}
+	return 2
+}

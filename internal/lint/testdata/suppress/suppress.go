@@ -1,0 +1,17 @@
+// Package fixture exercises //lint:ignore suppression: both
+// violations below carry a well-formed directive, so the package lints
+// clean.
+package fixture
+
+import "io"
+
+// AtEOF suppresses with a directive on the line above.
+func AtEOF(err error) bool {
+	//lint:ignore sentinelerr io.EOF identity is the io.Reader contract here
+	return err == io.EOF
+}
+
+// AlsoEOF suppresses with a trailing directive on the same line.
+func AlsoEOF(err error) bool {
+	return err == io.EOF //lint:ignore sentinelerr reader contract
+}

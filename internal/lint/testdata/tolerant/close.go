@@ -1,0 +1,33 @@
+// Package stats mirrors the real internal/stats tolerance helpers.
+// Loaded under the odbscale/internal/stats path, Close and Within are
+// exempt from the floateq rule — their exact fast path is the one
+// sanctioned use of float equality — while every other function in the
+// package stays linted.
+package stats
+
+// Close is the tolerance helper itself: exempt.
+func Close(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9
+}
+
+// Within is the parameterized tolerance helper: exempt.
+func Within(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// Leaky is an ordinary function in the same package: still flagged.
+func Leaky(a, b float64) bool { return a == b }

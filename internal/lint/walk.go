@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeOf returns the *types.Func a call statically resolves to, or
+// nil for builtins, conversions, and dynamic calls.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isAppend reports whether a call is the append builtin.
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// forEachFunc visits every function in the file that has a body —
+// declarations and literals alike — reporting the declared name
+// ("" for literals).
+func forEachFunc(f *ast.File, visit func(name string, ftype *ast.FuncType, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Name.Name, fn.Type, fn.Body)
+			}
+		case *ast.FuncLit:
+			visit("", fn.Type, fn.Body)
+		}
+		return true
+	})
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isFloat reports whether t's core type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type()

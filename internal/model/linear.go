@@ -54,7 +54,7 @@ func FitLinear(xs, ys []float64) (Linear, error) {
 		sxy += dx * dy
 		syy += dy * dy
 	}
-	if sxx == 0 {
+	if sxx <= 0 {
 		return Linear{}, errors.New("model: all x values identical")
 	}
 	l := Linear{N: n}

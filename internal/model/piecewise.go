@@ -3,6 +3,8 @@ package model
 import (
 	"fmt"
 	"math"
+
+	"odbscale/internal/stats"
 )
 
 // Piecewise is a two-segment piecewise-linear model of the kind the paper
@@ -92,8 +94,8 @@ func MAPE(predict func(float64) float64, xs, ys []float64) float64 {
 	sum := 0.0
 	cnt := 0
 	for i := range xs {
-		if ys[i] == 0 {
-			continue
+		if stats.Close(ys[i], 0) {
+			continue // a (near-)zero actual has no defined relative error
 		}
 		sum += math.Abs(predict(xs[i])-ys[i]) / math.Abs(ys[i])
 		cnt++

@@ -46,10 +46,10 @@ func (c Chart) Render(series ...Series) string {
 	if !any {
 		return c.Title + " (no data)\n"
 	}
-	if maxX == minX {
+	if maxX <= minX {
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY <= minY {
 		maxY = minY + 1
 	}
 	// Pad the y range slightly so extremes stay visible.

@@ -75,6 +75,31 @@ func CI95(xs []float64) float64 {
 	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
 }
 
+// Close reports whether a and b are equal within the package's
+// standard relative tolerance (1e-9, floored at an absolute scale of
+// one). It is the sanctioned way to compare floats for equality — the
+// floateq lint rule flags raw ==/!= on floating-point operands and
+// exempts exactly this helper, whose fast path needs bitwise equality
+// to accept infinities.
+func Close(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return Within(a, b, 1e-9)
+}
+
+// Within reports whether a and b agree to the given relative
+// tolerance, using an absolute floor of one so values near zero do not
+// demand impossible precision. Like Close, it is exempt from the
+// floateq lint rule.
+func Within(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
 // Point is a single (x, y) observation.
 type Point struct {
 	X, Y float64
@@ -119,7 +144,7 @@ func (s *Series) Sort() {
 // At returns the y value at the given x, and whether it is present.
 func (s *Series) At(x float64) (float64, bool) {
 	for _, p := range s.Points {
-		if p.X == x {
+		if Close(p.X, x) {
 			return p.Y, true
 		}
 	}

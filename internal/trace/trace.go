@@ -88,7 +88,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 func (t *Reader) Next() (Record, error) {
 	var buf [10]byte
 	if _, err := io.ReadFull(t.r, buf[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
 			return Record{}, errors.New("trace: truncated record")
 		}
 		return Record{}, err
@@ -124,7 +124,7 @@ func Replay(r *Reader, domain *cache.Domain) (ReplayStats, error) {
 	var s ReplayStats
 	for {
 		rec, err := r.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return s, nil
 		}
 		if err != nil {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 	"testing/quick"
@@ -47,7 +48,7 @@ func TestRoundTrip(t *testing.T) {
 			t.Fatalf("record %d = %+v, want %+v", i, got, want)
 		}
 	}
-	if _, err := r.Next(); err != io.EOF {
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
 		t.Fatalf("want EOF, got %v", err)
 	}
 }
@@ -90,7 +91,7 @@ func TestTruncatedRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Next(); err == nil || err == io.EOF {
+	if _, err := r.Next(); err == nil || errors.Is(err, io.EOF) {
 		t.Fatalf("want truncation error, got %v", err)
 	}
 }
