@@ -10,11 +10,13 @@
 package odbscale_test
 
 import (
+	"context"
 	"testing"
 
 	"odbscale"
 	"odbscale/internal/experiment"
 	"odbscale/internal/system"
+	"odbscale/internal/telemetry"
 )
 
 // benchOptions returns a campaign sized for benchmarking.
@@ -449,4 +451,29 @@ func BenchmarkSingleConfiguration(b *testing.B) {
 			b.ReportMetric(m.TPS, "TPS")
 		}
 	}
+}
+
+// BenchmarkFlightRecorder measures the flight recorder's cost on the
+// single-configuration workload: "off" is the plain simulator, "on" adds
+// the 100 ms timeline sampler and per-transaction latency spans. The
+// observability contract is that "on" stays within 2% of "off".
+func BenchmarkFlightRecorder(b *testing.B) {
+	cfg := system.DefaultConfig(200, system.HeuristicClients(200, 4), 4)
+	cfg.MeasureTxns = 1200
+	cfg.WarmupTxns = 300
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := system.RunContext(context.Background(), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := telemetry.NewRecorder(telemetry.Config{})
+			if _, err := system.RunRecorded(context.Background(), cfg, rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,0 +1,83 @@
+// Package live serves a flight recorder over HTTP: /metrics
+// (OpenMetrics text), /timeline (JSON sample series) and /progress
+// (JSON position). It is the only place where the flight recorder meets
+// the network — the telemetry, system and campaign packages stay under
+// the determinism rule, while the HTTP server (and its wall clock) live
+// here in cmd/ territory.
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+)
+
+// Source is the flight data a server exposes. Both *telemetry.Recorder
+// (one run) and *telemetry.CampaignRecorder (a whole campaign) satisfy
+// it.
+type Source interface {
+	WriteMetrics(io.Writer) error
+	WriteTimeline(io.Writer) error
+	WriteProgress(io.Writer) error
+}
+
+// contentTypeOM is the OpenMetrics exposition content type.
+const contentTypeOM = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// handler renders one endpoint into a buffer first, so a render error
+// becomes a clean 500 instead of a truncated body.
+func handler(contentType string, write func(io.Writer) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Write(buf.Bytes())
+	}
+}
+
+// NewMux routes the three flight-recorder endpoints over src.
+func NewMux(src Source) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", handler(contentTypeOM, src.WriteMetrics))
+	mux.HandleFunc("/timeline", handler("application/json", src.WriteTimeline))
+	mux.HandleFunc("/progress", handler("application/json", src.WriteProgress))
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "odbscale flight recorder: /metrics /timeline /progress")
+	})
+	return mux
+}
+
+// Server is a running flight-recorder endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts serving src on addr (e.g. ":8090" or "127.0.0.1:0") in a
+// background goroutine and returns once the listener is bound, so
+// Addr() is immediately routable.
+func Serve(addr string, src Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(src)}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -2,19 +2,46 @@
 // platform and prints its metrics, iron-law decomposition and CPI
 // breakdown.
 //
+// The flight recorder rides along on demand: -listen serves /metrics,
+// /timeline and /progress over HTTP while the run simulates (and until
+// Ctrl-C afterwards, so short runs stay inspectable), -timeline dumps
+// the sampled timeline as JSON, and -json replaces the text report with
+// a machine-readable document bundling the run manifest (config, seed,
+// provenance, phase durations), the final metrics and per-transaction
+// latency digests.
+//
 // Usage:
 //
 //	odbrun [-w warehouses] [-c clients] [-p processors] [-seed n]
 //	       [-machine xeon|itanium2] [-txns n] [-nocoherence]
+//	       [-json] [-listen addr] [-timeline file] [-sample ms]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"time"
 
+	"odbscale/cmd/internal/live"
 	"odbscale/internal/system"
+	"odbscale/internal/telemetry"
 )
+
+// report is the -json output document.
+type report struct {
+	Manifest *telemetry.Manifest                 `json:"manifest"`
+	Metrics  system.Metrics                      `json:"metrics"`
+	Latency  map[string]telemetry.LatencySummary `json:"latency,omitempty"`
+	Timeline struct {
+		Samples int    `json:"samples"`
+		Dropped uint64 `json:"dropped"`
+	} `json:"timeline"`
+}
 
 func main() {
 	w := flag.Int("w", 100, "warehouses")
@@ -24,6 +51,10 @@ func main() {
 	machine := flag.String("machine", "xeon", "platform: xeon or itanium2")
 	txns := flag.Int("txns", 2400, "measured transactions")
 	nocoh := flag.Bool("nocoherence", false, "disable MESI coherence")
+	jsonOut := flag.Bool("json", false, "emit the run manifest, metrics and latency digests as JSON")
+	listen := flag.String("listen", "", "serve the flight recorder on this address (e.g. :8090)")
+	timelineOut := flag.String("timeline", "", "write the sampled timeline as JSON to this file")
+	sampleMS := flag.Float64("sample", 100, "timeline sample interval in simulated milliseconds")
 	flag.Parse()
 
 	cfg := system.DefaultConfig(*w, *c, *p)
@@ -38,17 +69,75 @@ func main() {
 		log.Fatalf("unknown machine %q", *machine)
 	}
 
-	m, err := system.Run(cfg)
+	rec := telemetry.NewRecorder(telemetry.Config{SampleIntervalMS: *sampleMS})
+	var srv *live.Server
+	if *listen != "" {
+		var err error
+		srv, err = live.Serve(*listen, rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("flight recorder on http://%s (/metrics /timeline /progress)", srv.Addr())
+	}
+
+	started := time.Now()
+	m, err := system.RunRecorded(context.Background(), cfg, rec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(m)
-	fmt.Printf("  user: IPX=%.2fM CPI=%.2f MPI=%.4f\n", m.UserIPX/1e6, m.UserCPI, m.UserMPI)
-	fmt.Printf("  os:   IPX=%.2fM CPI=%.2f MPI=%.4f share=%.2f\n", m.OSIPX/1e6, m.OSCPI, m.OSMPI, m.OSShare)
-	fmt.Printf("  io:   read=%.1fKB write=%.1fKB log=%.1fKB hit=%.3f diskUtil=%.2f lat=%.1fms\n",
-		m.ReadKBPerTxn, m.WriteKBPerTxn, m.LogKBPerTxn, m.BufferHitRatio, m.DiskUtil, m.ReadLatencyMS)
-	fmt.Printf("  bus:  time=%.0f util=%.2f coherShare=%.4f\n", m.BusTime, m.BusUtil, m.CoherenceShare)
-	fmt.Printf("  cpi breakdown: %s\n", m.Breakdown)
-	fmt.Printf("  iron law check: P*F/(IPX*CPI)*util = %.0f TPS (measured %.0f)\n",
-		float64(m.Processors)*cfg.Machine.FreqHz/(m.IPX*m.CPI)*m.CPUUtil, m.TPS)
+	wall := time.Since(started)
+
+	if *timelineOut != "" {
+		f, err := os.Create(*timelineOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteTimeline(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		man := telemetry.NewManifest("odbrun", *seed)
+		man.CreatedAt = started.UTC().Format(time.RFC3339)
+		man.WallSeconds = wall.Seconds()
+		man.Phases = rec.Phases()
+		if err := man.SetConfig(cfg); err != nil {
+			log.Fatal(err)
+		}
+		rep := report{Manifest: man, Metrics: m, Latency: telemetry.SummarizeAll(rec.Histograms(), true)}
+		rep.Timeline.Samples = len(rec.Timeline())
+		rep.Timeline.Dropped = rec.TimelineDropped()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Println(m)
+		fmt.Printf("  user: IPX=%.2fM CPI=%.2f MPI=%.4f\n", m.UserIPX/1e6, m.UserCPI, m.UserMPI)
+		fmt.Printf("  os:   IPX=%.2fM CPI=%.2f MPI=%.4f share=%.2f\n", m.OSIPX/1e6, m.OSCPI, m.OSMPI, m.OSShare)
+		fmt.Printf("  io:   read=%.1fKB write=%.1fKB log=%.1fKB hit=%.3f diskUtil=%.2f lat=%.1fms\n",
+			m.ReadKBPerTxn, m.WriteKBPerTxn, m.LogKBPerTxn, m.BufferHitRatio, m.DiskUtil, m.ReadLatencyMS)
+		fmt.Printf("  bus:  time=%.0f util=%.2f coherShare=%.4f\n", m.BusTime, m.BusUtil, m.CoherenceShare)
+		fmt.Printf("  cpi breakdown: %s\n", m.Breakdown)
+		fmt.Printf("  iron law check: P*F/(IPX*CPI)*util = %.0f TPS (measured %.0f)\n",
+			float64(m.Processors)*cfg.Machine.FreqHz/(m.IPX*m.CPI)*m.CPUUtil, m.TPS)
+		for _, name := range rec.HistogramNames() {
+			h := rec.HistogramSnapshot(name)
+			fmt.Printf("  latency %-12s n=%-5d mean=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms\n",
+				name, h.Count(), h.Mean()/1e3, h.Quantile(0.50)/1e3, h.Quantile(0.95)/1e3, h.Quantile(0.99)/1e3)
+		}
+	}
+
+	if srv != nil {
+		log.Printf("run done; flight recorder still on http://%s (Ctrl-C to exit)", srv.Addr())
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		<-ctx.Done()
+		stop()
+		srv.Close()
+	}
 }

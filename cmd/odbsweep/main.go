@@ -14,7 +14,12 @@
 //
 // Output: aligned text by default, -csv for CSV, -json for one JSON
 // object per point; -events appends a machine-readable campaign event
-// log.
+// log. -listen turns on the campaign flight recorder and serves it over
+// HTTP while the campaign runs: /metrics (OpenMetrics gauges plus
+// merged per-transaction-type latency histograms), /timeline (per-point
+// sampled timelines) and /progress (live point/probe counters). With
+// -checkpoint, a run manifest (config, seed, provenance) is written
+// next to the checkpoint file at campaign start and completion.
 package main
 
 import (
@@ -28,9 +33,11 @@ import (
 	"strconv"
 	"strings"
 
+	"odbscale/cmd/internal/live"
 	"odbscale/internal/campaign"
 	"odbscale/internal/experiment"
 	"odbscale/internal/system"
+	"odbscale/internal/telemetry"
 )
 
 func parseInts(s string) []int {
@@ -58,6 +65,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: completed points persist here after every run")
 	resume := flag.Bool("resume", false, "resume from -checkpoint, re-executing only incomplete points")
 	events := flag.String("events", "", "append a JSON campaign event log to this file")
+	listen := flag.String("listen", "", "serve the live campaign flight recorder on this address (/metrics /timeline /progress)")
 	csv := flag.Bool("csv", false, "CSV output")
 	jsonOut := flag.Bool("json", false, "JSON output (one object per point)")
 	quiet := flag.Bool("quiet", false, "suppress the stderr progress line")
@@ -99,6 +107,17 @@ func main() {
 		observers = append(observers, campaign.NewEventLog(f))
 	}
 	spec.Observer = campaign.Observers(observers...)
+
+	if *listen != "" {
+		flight := telemetry.NewCampaignRecorder(telemetry.Config{})
+		spec.Flight = flight
+		srv, err := live.Serve(*listen, flight)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("campaign flight recorder on http://%s (/metrics /timeline /progress)", srv.Addr())
+	}
 
 	// Ctrl-C cancels the campaign cleanly: in-flight runs stop at the
 	// next cancellation check and the checkpoint keeps completed points.

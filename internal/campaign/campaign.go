@@ -23,6 +23,7 @@ import (
 
 	"odbscale/internal/clock"
 	"odbscale/internal/system"
+	"odbscale/internal/telemetry"
 )
 
 // Spec describes one campaign: the platform and measurement lengths,
@@ -77,6 +78,15 @@ type Spec struct {
 
 	// Observer receives progress events; nil means none.
 	Observer Observer
+
+	// Flight, when set, turns on the flight recorder: every measurement
+	// run executes under system.RunRecorded feeding a per-run telemetry
+	// recorder, finished runs merge their latency histograms and retain
+	// their timelines in Flight, and a flight observer keeps Flight's
+	// campaign progress current for the live HTTP endpoints. When a
+	// CheckpointPath is set, a run manifest is written next to it at
+	// campaign start and again at completion.
+	Flight *telemetry.CampaignRecorder
 }
 
 // fingerprint reduces the spec to its run-defining parameters.
@@ -169,6 +179,11 @@ type Runner struct {
 	Spec    Spec
 	RunFunc RunFunc // nil means system.RunContext
 
+	// FlightFunc is the recorded-run entry point used for measurement
+	// runs when Spec.Flight is set; nil means system.RunRecorded. Tests
+	// interpose on it like RunFunc.
+	FlightFunc func(ctx context.Context, cfg system.Config, rec *telemetry.Recorder) (system.Metrics, error)
+
 	// Clock supplies the wall time behind the Elapsed fields of
 	// progress events; nil means the real clock. Simulated results
 	// never depend on it — the determinism lint rule keeps time.Now
@@ -203,9 +218,9 @@ func newPool(parallelism int) *pool {
 	return &pool{sem: make(chan struct{}, parallelism)}
 }
 
-// run executes one configuration inside the pool, honouring ctx while
-// waiting for a slot and during the run itself.
-func (pl *pool) run(ctx context.Context, fn RunFunc, cfg system.Config) (system.Metrics, error) {
+// do executes fn inside the pool, honouring ctx while waiting for a
+// slot and during the run itself.
+func (pl *pool) do(ctx context.Context, fn func(context.Context) (system.Metrics, error)) (system.Metrics, error) {
 	select {
 	case pl.sem <- struct{}{}:
 		defer func() { <-pl.sem }()
@@ -215,7 +230,12 @@ func (pl *pool) run(ctx context.Context, fn RunFunc, cfg system.Config) (system.
 	if err := ctx.Err(); err != nil {
 		return system.Metrics{}, err
 	}
-	return fn(ctx, cfg)
+	return fn(ctx)
+}
+
+// run executes one configuration inside the pool.
+func (pl *pool) run(ctx context.Context, fn RunFunc, cfg system.Config) (system.Metrics, error) {
+	return pl.do(ctx, func(ctx context.Context) (system.Metrics, error) { return fn(ctx, cfg) })
 }
 
 // emitter serializes observer delivery and keeps the summary counters.
@@ -284,6 +304,10 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	if obs == nil {
 		obs = noop{}
 	}
+	if spec.Flight != nil {
+		spec.Flight.SetTotalPoints(len(spec.Warehouses) * len(spec.Processors))
+		obs = Observers(obs, NewFlightObserver(spec.Flight))
+	}
 	ck, err := newCKStore(spec)
 	if err != nil {
 		return nil, err
@@ -294,6 +318,11 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 
 	clk := r.clock()
 	started := clk.Now()
+	if spec.CheckpointPath != "" {
+		if err := r.writeManifest(clk, started, "campaign started"); err != nil {
+			return nil, fmt.Errorf("campaign: writing manifest: %w", err)
+		}
+	}
 	em := &emitter{obs: obs}
 	pl := newPool(spec.Parallelism)
 	res := &Result{
@@ -332,6 +361,13 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	wg.Wait()
 
 	sum := em.done(clk.Since(started), firstErr)
+	if spec.CheckpointPath != "" {
+		notes := fmt.Sprintf("points=%d (resumed %d) runs=%d probes=%d (cached %d) failed=%v",
+			sum.Points, sum.PointsResumed, sum.Runs, sum.Probes, sum.ProbesCached, sum.Err != nil)
+		if err := r.writeManifest(clk, started, notes); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("campaign: writing manifest: %w", err)
+		}
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -396,7 +432,23 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 			point := Point{Warehouses: w, Processors: p, Clients: c}
 			em.pointStarted(point)
 			t0 := clk.Now()
-			m, err := pl.run(ctx, runFn, spec.config(w, c, p, spec.MeasureTxns))
+			cfg := spec.config(w, c, p, spec.MeasureTxns)
+			var m system.Metrics
+			var err error
+			if fl := spec.Flight; fl != nil {
+				flightFn := r.FlightFunc
+				if flightFn == nil {
+					flightFn = system.RunRecorded
+				}
+				key := telemetry.PointName(w, p)
+				rec := fl.StartRun(key)
+				m, err = pl.do(ctx, func(ctx context.Context) (system.Metrics, error) {
+					return flightFn(ctx, cfg, rec)
+				})
+				fl.FinishRun(key, err == nil)
+			} else {
+				m, err = pl.run(ctx, runFn, cfg)
+			}
 			elapsed := clk.Since(t0)
 			if err != nil {
 				em.pointFinished(PointResult{Point: point, Elapsed: elapsed, Err: err})

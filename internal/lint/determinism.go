@@ -11,12 +11,13 @@ import (
 // MPI(W) regression and every campaign checkpoint fingerprint assumes
 // a rerun of the same (W, P, seed) reproduces the same metrics.
 var determinismScope = map[string]bool{
-	"odbscale/internal/sim":      true,
-	"odbscale/internal/odb":      true,
-	"odbscale/internal/workload": true,
-	"odbscale/internal/osker":    true,
-	"odbscale/internal/system":   true,
-	"odbscale/internal/campaign": true,
+	"odbscale/internal/sim":       true,
+	"odbscale/internal/odb":       true,
+	"odbscale/internal/workload":  true,
+	"odbscale/internal/osker":     true,
+	"odbscale/internal/system":    true,
+	"odbscale/internal/campaign":  true,
+	"odbscale/internal/telemetry": true,
 }
 
 // Determinism forbids ambient entropy — wall clocks, the global

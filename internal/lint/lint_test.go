@@ -73,6 +73,7 @@ func TestFixtures(t *testing.T) {
 		// in the golden file, neg.go (and *_test.go exemptions)
 		// contribute nothing.
 		{"determinism", simScope},
+		{"telemetry", "odbscale/internal/telemetry"},
 		{"maporder", "odbscale/internal/lint/fixture/maporder"},
 		{"sentinelerr", "odbscale/internal/lint/fixture/sentinelerr"},
 		{"floateq", "odbscale/internal/lint/fixture/floateq"},
@@ -93,6 +94,21 @@ func TestFixtures(t *testing.T) {
 func TestDeterminismScope(t *testing.T) {
 	if got := runFixture(t, "determinism", "odbscale/internal/lint/fixture/unscoped"); len(got) != 0 {
 		t.Errorf("determinism fired outside its package scope:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+// TestTelemetrySamplerRegression pins the flight-recorder guarantee: a
+// time.Now sneaking into the telemetry package's sampler path is a lint
+// failure, while the same corpus loaded as a cmd/ package (where the
+// HTTP server's wall clock legitimately lives) stays clean.
+func TestTelemetrySamplerRegression(t *testing.T) {
+	got := runFixture(t, "telemetry", "odbscale/internal/telemetry")
+	joined := strings.Join(got, "\n")
+	if !strings.Contains(joined, "time.Now") || !strings.Contains(joined, "time.Since") {
+		t.Errorf("determinism missed the wall-clock sampler regression:\n%s", joined)
+	}
+	if unscoped := runFixture(t, "telemetry", "odbscale/cmd/internal/live"); len(unscoped) != 0 {
+		t.Errorf("determinism fired on a cmd/ package:\n%s", strings.Join(unscoped, "\n"))
 	}
 }
 

@@ -1,0 +1,20 @@
+package fixture
+
+import "time"
+
+// manifest mimics the run manifest: formatting a caller-supplied wall
+// timestamp is fine — only reading the clock is banned.
+type manifest struct {
+	createdAt string
+}
+
+// stamp formats a timestamp the caller read through an injected clock.
+func stamp(t time.Time) manifest {
+	return manifest{createdAt: t.UTC().Format(time.RFC3339)}
+}
+
+// simSeconds converts engine cycles to seconds — the sanctioned time
+// source for samples.
+func simSeconds(cycles uint64, freqHz float64) float64 {
+	return float64(cycles) / freqHz
+}

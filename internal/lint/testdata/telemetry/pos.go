@@ -1,0 +1,23 @@
+// Package fixture is a lint test corpus for the telemetry determinism
+// scope: a flight-recorder sampler that stamps samples from the wall
+// clock instead of simulated time. Loaded as odbscale/internal/telemetry,
+// every entropy call below must be flagged.
+package fixture
+
+import "time"
+
+// sample mimics a timeline sample.
+type sample struct {
+	at      time.Time
+	elapsed time.Duration
+}
+
+// snap is the regression the rule must catch: a sampler reading the
+// wall clock. Timeline timestamps must be simulated seconds supplied by
+// the system layer.
+func snap(start time.Time) sample {
+	return sample{
+		at:      time.Now(),
+		elapsed: time.Since(start),
+	}
+}

@@ -79,6 +79,7 @@ type cpuState struct {
 	last      *Proc // process that ran most recently on this CPU
 	idleSince sim.Time
 	idle      bool
+	busy      float64 // busy cycles on this CPU since the last ResetStats
 }
 
 // Scheduler sequences processes over CPUs.
@@ -196,6 +197,7 @@ func (s *Scheduler) dispatch(cpu int, except *Proc) {
 		if s.sw != nil {
 			switchCost = s.sw(p, cpu)
 			s.stats.BusyCycles += float64(switchCost)
+			c.busy += float64(switchCost)
 		}
 	}
 	c.last = p
@@ -210,6 +212,7 @@ func (s *Scheduler) step(cpu int, p *Proc) {
 	budget := s.cfg.QuantumInstr - p.quantumUsed
 	out := s.run(p, cpu, budget)
 	s.stats.BusyCycles += float64(out.Cycles)
+	s.cpus[cpu].busy += float64(out.Cycles)
 	p.quantumUsed += out.Instr
 	s.eng.After(out.Cycles, func() {
 		if s.stopped {
@@ -278,6 +281,17 @@ func (s *Scheduler) Stats() Stats { return s.stats }
 // ReadyLen returns the ready-queue length.
 func (s *Scheduler) ReadyLen() int { return len(s.ready) }
 
+// PerCPUBusyCycles returns each CPU's busy cycles since the last
+// ResetStats. The flight recorder's sampler differences successive
+// readings to derive per-CPU utilization.
+func (s *Scheduler) PerCPUBusyCycles() []float64 {
+	out := make([]float64, len(s.cpus))
+	for i := range s.cpus {
+		out[i] = s.cpus[i].busy
+	}
+	return out
+}
+
 // Busy reports whether a CPU is currently executing a process.
 func (s *Scheduler) Busy(cpu int) bool { return !s.cpus[cpu].idle }
 
@@ -286,6 +300,7 @@ func (s *Scheduler) ResetStats() {
 	s.stats = Stats{}
 	s.resetAt = s.eng.Now()
 	for i := range s.cpus {
+		s.cpus[i].busy = 0
 		if s.cpus[i].idle && s.cpus[i].idleSince < s.resetAt {
 			s.cpus[i].idleSince = s.resetAt
 		}

@@ -1,0 +1,165 @@
+package system
+
+import (
+	"context"
+
+	"odbscale/internal/sim"
+	"odbscale/internal/telemetry"
+)
+
+// flightSnap is one reading of the machine's cumulative counters, taken
+// by the sampler so successive readings can be differenced — the same
+// discipline perfmon applies to the EMON counters.
+type flightSnap struct {
+	at        sim.Time
+	txns      uint64
+	instr     uint64
+	cycles    uint64
+	l2Miss    uint64
+	l3Miss    uint64
+	userInstr uint64
+	osInstr   uint64
+	bcGets    uint64
+	bcHits    uint64
+	busy      []float64
+}
+
+// snapFlight reads the cumulative counters at the current instant.
+func (m *machine) snapFlight() flightSnap {
+	bc := m.bc.Stats()
+	return flightSnap{
+		at:        m.eng.Now(),
+		txns:      m.totalTxns,
+		instr:     m.ctr.instructions,
+		cycles:    m.ctr.cycles,
+		l2Miss:    m.ctr.l2Miss,
+		l3Miss:    m.ctr.l3Miss,
+		userInstr: m.flUserInstr,
+		osInstr:   m.flOSInstr,
+		bcGets:    bc.Gets,
+		bcHits:    bc.Hits,
+		busy:      m.sched.PerCPUBusyCycles(),
+	}
+}
+
+// deltaU64 differences a cumulative counter across an interval; counters
+// that were reset mid-interval (the warm-up reset zeroes buffer-cache and
+// scheduler statistics) restart the delta from zero instead of wrapping.
+func deltaU64(cur, last uint64) uint64 {
+	if cur < last {
+		return cur
+	}
+	return cur - last
+}
+
+// deltaF64 is deltaU64 for float counters.
+func deltaF64(cur, last float64) float64 {
+	if cur < last {
+		return cur
+	}
+	return cur - last
+}
+
+// flightSample converts two successive snapshots into a timeline sample.
+func (m *machine) flightSample(last, cur flightSnap) telemetry.Sample {
+	freq := m.cfg.Machine.FreqHz
+	intervalCycles := float64(cur.at - last.at)
+	intervalSec := intervalCycles / freq
+
+	s := telemetry.Sample{
+		SimSeconds: float64(cur.at) / freq,
+		Measuring:  m.measuring,
+		Txns:       cur.txns,
+		BusUtil:    m.fsb.Utilization(),
+		RunQueue:   m.sched.ReadyLen(),
+		IOInFlight: len(m.inflight),
+	}
+
+	dTxns := deltaU64(cur.txns, last.txns)
+	dInstr := deltaU64(cur.instr, last.instr)
+	dCycles := deltaU64(cur.cycles, last.cycles)
+	if intervalSec > 0 {
+		s.TPS = float64(dTxns) / intervalSec
+	}
+	if dInstr > 0 {
+		s.CPI = float64(dCycles) / float64(dInstr)
+		s.L2MPI = float64(deltaU64(cur.l2Miss, last.l2Miss)) / float64(dInstr)
+		s.L3MPI = float64(deltaU64(cur.l3Miss, last.l3Miss)) / float64(dInstr)
+	}
+	if dTxns > 0 {
+		s.UserIPX = float64(deltaU64(cur.userInstr, last.userInstr)) / float64(dTxns)
+		s.OSIPX = float64(deltaU64(cur.osInstr, last.osInstr)) / float64(dTxns)
+	}
+	if dGets := deltaU64(cur.bcGets, last.bcGets); dGets > 0 {
+		s.BufferHit = float64(deltaU64(cur.bcHits, last.bcHits)) / float64(dGets)
+	}
+
+	s.CPUUtil = make([]float64, len(cur.busy))
+	for i, b := range cur.busy {
+		var prev float64
+		if i < len(last.busy) {
+			prev = last.busy[i]
+		}
+		if intervalCycles > 0 {
+			u := deltaF64(b, prev) / intervalCycles
+			if u < 0 {
+				u = 0
+			}
+			if u > 1 {
+				u = 1
+			}
+			s.CPUUtil[i] = u
+		}
+	}
+	return s
+}
+
+// startFlight arms the timeline sampler: a self-rescheduling event that
+// fires every recorder interval of simulated time, differences the
+// cumulative counters and pushes one sample. Entirely driven by the
+// discrete-event engine — no wall clock is involved.
+func (m *machine) startFlight() {
+	interval := sim.Time(m.rec.Interval() * m.cyclesPerMS)
+	if interval < 1 {
+		interval = 1
+	}
+	last := m.snapFlight()
+	var tick func()
+	tick = func() {
+		cur := m.snapFlight()
+		m.rec.PushSample(m.flightSample(last, cur))
+		last = cur
+		m.eng.After(interval, tick)
+	}
+	m.eng.After(interval, tick)
+}
+
+// RunRecorded executes a configuration like RunContext while feeding the
+// flight recorder: per-transaction latency spans, phase marks at the
+// warm-up reset and at run end, and timeline samples every recorder
+// interval of simulated time. A nil recorder degrades to RunContext.
+func RunRecorded(ctx context.Context, cfg Config, rec *telemetry.Recorder) (Metrics, error) {
+	if rec == nil {
+		return RunContext(ctx, cfg)
+	}
+	if err := validate(cfg); err != nil {
+		return Metrics{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
+	rec.SetTarget(uint64(cfg.MeasureTxns))
+	m := build(cfg)
+	m.rec = rec
+	m.prefill()
+	m.start()
+	m.startFlight()
+	if err := m.drive(ctx); err != nil {
+		return Metrics{}, err
+	}
+	rec.MarkPhase(telemetry.PhaseDone, float64(m.eng.Now())/cfg.Machine.FreqHz)
+	return m.metrics(), nil
+}

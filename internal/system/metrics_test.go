@@ -1,0 +1,72 @@
+package system
+
+import (
+	"math"
+	"testing"
+)
+
+// TestModeAccumZeroInstr pins the zero-instruction edge case: a mode
+// that priced no instructions (e.g. an all-OS chunk mix, or a run too
+// short for one mode to appear) must report 0, never NaN or Inf.
+func TestModeAccumZeroInstr(t *testing.T) {
+	var a modeAccum
+	if got := a.cpi(); got != 0 {
+		t.Errorf("empty cpi() = %v, want 0", got)
+	}
+	if got := a.ratePI(100, 25); got != 0 {
+		t.Errorf("empty ratePI() = %v, want 0", got)
+	}
+
+	// Cycles without instructions (possible when only switch costs were
+	// charged): still guarded.
+	a.cycles = 5000
+	if got := a.cpi(); math.IsNaN(got) || math.IsInf(got, 0) || got != 0 {
+		t.Errorf("cycles-only cpi() = %v, want 0", got)
+	}
+
+	a.instr = 1000
+	if got := a.cpi(); got != 5 {
+		t.Errorf("cpi() = %v, want 5", got)
+	}
+	if got := a.ratePI(10, 25); got != 0.25 {
+		t.Errorf("ratePI(10, 25) = %v, want 0.25", got)
+	}
+}
+
+// TestMetricsZeroInstr drives metrics() with measured transactions but
+// no priced instructions: every derived ratio must come out 0, not NaN.
+// The condition arises when the measurement window closes before any
+// chunk is priced (tiny MeasureTxns with carried-over commits).
+func TestMetricsZeroInstr(t *testing.T) {
+	cfg := DefaultConfig(1, 1, 1)
+	m := build(cfg)
+	// Advance simulated time without pricing anything, then pretend one
+	// transaction committed during measurement.
+	m.eng.After(1_600_000, func() {})
+	for m.eng.Step() {
+	}
+	m.txns = 1
+	out := m.metrics()
+	if out.ElapsedSeconds <= 0 {
+		t.Fatalf("elapsed = %v, want > 0", out.ElapsedSeconds)
+	}
+	for name, v := range map[string]float64{
+		"CPI":     out.CPI,
+		"UserCPI": out.UserCPI,
+		"OSCPI":   out.OSCPI,
+		"OSShare": out.OSShare,
+		"MPI":     out.MPI,
+		"UserMPI": out.UserMPI,
+		"OSMPI":   out.OSMPI,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v with zero instructions, want a finite 0", name, v)
+		}
+		if v != 0 {
+			t.Errorf("%s = %v with zero instructions, want 0", name, v)
+		}
+	}
+	if out.TPS <= 0 {
+		t.Errorf("TPS = %v, want > 0 (one txn in a positive window)", out.TPS)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"odbscale/internal/osker"
 	"odbscale/internal/sim"
 	"odbscale/internal/storage"
+	"odbscale/internal/telemetry"
 	"odbscale/internal/workload"
 	"odbscale/internal/xrand"
 )
@@ -25,6 +26,7 @@ type serverProc struct {
 	pendingOS uint64
 	carry     []odb.BlockID // blocks installed by I/O since the last chunk
 	dbWriter  bool
+	startAt   sim.Time // when the current transaction was generated (flight recorder)
 }
 
 // machine is one fully assembled simulation instance.
@@ -47,6 +49,14 @@ type machine struct {
 
 	ctr     counters
 	onReset func() // armed by RunEMON at measurement start
+
+	// Flight recorder (nil unless RunRecorded). flUserInstr/flOSInstr are
+	// free-running per-mode instruction counters — unlike user/os they are
+	// never gated on measuring, so the sampler can difference them across
+	// the whole run, warm-up included.
+	rec         *telemetry.Recorder
+	flUserInstr uint64
+	flOSInstr   uint64
 
 	measuring bool
 	wantReset bool
@@ -381,6 +391,9 @@ loop:
 			sp.txn = m.gen.Next(p.ID)
 			sp.opIdx = 0
 			osInstr += t.PerTxnOSInstr
+			if m.rec != nil {
+				sp.startAt = m.eng.Now()
+			}
 		}
 		op := &sp.txn.Ops[sp.opIdx]
 		userInstr += op.Instr
@@ -438,6 +451,13 @@ loop:
 				m.logBytes += float64(op.Bytes)
 			}
 		case odb.OpCommit:
+			if m.rec != nil {
+				// Latency at chunk granularity: both endpoints are chunk
+				// start times, so the commit chunk's own cycles are excluded
+				// symmetrically with the generating chunk's.
+				us := float64(m.eng.Now()-sp.startAt) * 1e3 / m.cyclesPerMS
+				m.rec.ObserveSpan(sp.txn.Type.String(), uint64(us))
+			}
 			m.commit()
 			sp.txn = nil
 			sp.opIdx = 0
@@ -512,6 +532,9 @@ func (m *machine) commit() {
 	} else if m.totalTxns >= uint64(m.cfg.WarmupTxns) {
 		m.wantReset = true
 	}
+	if m.rec != nil {
+		m.rec.NoteCommit(m.measuring)
+	}
 }
 
 // reset starts the measurement period: every component's statistics are
@@ -522,6 +545,9 @@ func (m *machine) reset() {
 		m.onReset()
 	}
 	m.resetAt = m.eng.Now()
+	if m.rec != nil {
+		m.rec.MarkPhase(telemetry.PhaseMeasure, float64(m.resetAt)/m.cfg.Machine.FreqHz)
+	}
 	m.bc.ResetStats()
 	m.disks.ResetStats()
 	m.fsb.ResetStats(m.eng.Now())
@@ -540,6 +566,9 @@ func (m *machine) price(cpuID, procID int, userInstr, osInstr uint64, blocks []o
 		ev := m.synth.Run(workload.ChunkSpec{Now: now, CPU: cpuID, ProcID: procID, Instr: userInstr, Blocks: blocks})
 		userCycles = m.eventCycles(userInstr, ev) * smt
 		m.ctr.note(userInstr, userCycles, ev)
+		if m.rec != nil {
+			m.flUserInstr += userInstr
+		}
 		if m.measuring {
 			m.user.add(userInstr, userCycles, ev.TCMiss, ev.L2Miss, ev.L3Miss, ev.CoherMiss, ev.TLBMiss, ev.Mispred, ev.BusLatency)
 		}
@@ -548,6 +577,9 @@ func (m *machine) price(cpuID, procID int, userInstr, osInstr uint64, blocks []o
 		ev := m.synth.Run(workload.ChunkSpec{Now: now, CPU: cpuID, ProcID: procID, OS: true, Instr: osInstr, Blocks: blocks})
 		osCycles = m.eventCycles(osInstr, ev) * smt
 		m.ctr.note(osInstr, osCycles, ev)
+		if m.rec != nil {
+			m.flOSInstr += osInstr
+		}
 		if m.measuring {
 			m.os.add(osInstr, osCycles, ev.TCMiss, ev.L2Miss, ev.L3Miss, ev.CoherMiss, ev.TLBMiss, ev.Mispred, ev.BusLatency)
 		}
@@ -596,7 +628,9 @@ func (m *machine) metrics() Metrics {
 	out.IPX = float64(totalInstr) / txns
 	out.UserIPX = float64(m.user.instr) / txns
 	out.OSIPX = float64(m.os.instr) / txns
-	out.CPI = totalCycles / float64(totalInstr)
+	if totalInstr > 0 {
+		out.CPI = totalCycles / float64(totalInstr)
+	}
 	out.UserCPI = m.user.cpi()
 	out.OSCPI = m.os.cpi()
 
@@ -629,7 +663,9 @@ func (m *machine) metrics() Metrics {
 	out.Breakdown = cpu.Assemble(cfg.Machine.Stall, out.Rates)
 
 	out.CPUUtil = m.sched.Utilization()
-	out.OSShare = m.os.cycles / totalCycles
+	if totalCycles > 0 {
+		out.OSShare = m.os.cycles / totalCycles
+	}
 
 	ds := m.disks.StatsNow()
 	out.ReadKBPerTxn = float64(ds.Reads) * odb.BlockSizeKB / txns

@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// CampaignProgress is the live position of a campaign: point and run
+// counters maintained by the campaign runner's flight observer.
+type CampaignProgress struct {
+	TotalPoints   int      `json:"total_points"`
+	PointsDone    int      `json:"points_done"`
+	PointsResumed int      `json:"points_resumed"`
+	PointsFailed  int      `json:"points_failed"`
+	Runs          int      `json:"runs"`          // simulator runs executed
+	Probes        int      `json:"probes"`        // tuner probes, cached included
+	ProbesCached  int      `json:"probes_cached"` //
+	Active        []string `json:"active"`        // keys of in-flight measurement runs
+	Done          bool     `json:"done"`
+	Err           string   `json:"err,omitempty"`
+	LastEvent     string   `json:"last_event,omitempty"`
+}
+
+// runFlight is one completed run's retained flight data.
+type runFlight struct {
+	timeline []Sample
+	dropped  uint64
+	phases   []PhaseSpan
+}
+
+// CampaignRecorder aggregates flight data across a campaign's runs: it
+// hands each measurement run a fresh Recorder, merges the per-type
+// latency histograms as runs finish (the mergeable encoding makes this
+// order-independent), retains completed timelines per point, and keeps
+// the live campaign progress. All methods are safe for concurrent use
+// by the campaign's worker pool and the HTTP endpoints.
+type CampaignRecorder struct {
+	cfg Config
+
+	mu        sync.Mutex
+	progress  CampaignProgress
+	active    map[string]*Recorder
+	completed map[string]runFlight
+	merged    map[string]*Histogram
+}
+
+// NewCampaignRecorder builds the aggregator; cfg sizes each run's
+// recorder (zero fields take defaults).
+func NewCampaignRecorder(cfg Config) *CampaignRecorder {
+	return &CampaignRecorder{
+		cfg:       cfg.withDefaults(),
+		active:    make(map[string]*Recorder),
+		completed: make(map[string]runFlight),
+		merged:    make(map[string]*Histogram),
+	}
+}
+
+// PointName renders the canonical key of a measurement point.
+func PointName(w, p int) string { return fmt.Sprintf("W=%d,P=%d", w, p) }
+
+// SetTotalPoints declares the campaign size.
+func (cr *CampaignRecorder) SetTotalPoints(n int) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	cr.progress.TotalPoints = n
+}
+
+// StartRun registers a measurement run and returns its recorder.
+func (cr *CampaignRecorder) StartRun(key string) *Recorder {
+	rec := NewRecorder(cr.cfg)
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	cr.active[key] = rec
+	return rec
+}
+
+// FinishRun retires a run's recorder. Successful runs contribute their
+// histograms to the campaign-wide merge and retain their timeline for
+// the /timeline endpoint; failed runs are dropped.
+func (cr *CampaignRecorder) FinishRun(key string, ok bool) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	rec := cr.active[key]
+	delete(cr.active, key)
+	if rec == nil || !ok {
+		return
+	}
+	for name, h := range rec.Histograms() {
+		m := cr.merged[name]
+		if m == nil {
+			m = &Histogram{}
+			cr.merged[name] = m
+		}
+		m.Merge(h)
+	}
+	cr.completed[key] = runFlight{
+		timeline: rec.Timeline(),
+		dropped:  rec.TimelineDropped(),
+		phases:   rec.Phases(),
+	}
+}
+
+// Event updates the campaign progress counters; the campaign package's
+// flight observer is the only intended caller.
+func (cr *CampaignRecorder) Event(update func(*CampaignProgress)) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	update(&cr.progress)
+}
+
+// Progress returns the live campaign position, including the in-flight
+// run keys.
+func (cr *CampaignRecorder) Progress() CampaignProgress {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	p := cr.progress
+	p.Active = make([]string, 0, len(cr.active))
+	for key := range cr.active {
+		p.Active = append(p.Active, key)
+	}
+	sort.Strings(p.Active)
+	return p
+}
+
+// MergedHistograms returns deep copies of the campaign-wide per-type
+// latency histograms.
+func (cr *CampaignRecorder) MergedHistograms() map[string]*Histogram {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	out := make(map[string]*Histogram, len(cr.merged))
+	for name, h := range cr.merged {
+		out[name] = h.Clone()
+	}
+	return out
+}
+
+// pointTimeline is the JSON wire form of one point's timeline.
+type pointTimeline struct {
+	Point   string      `json:"point"`
+	Live    bool        `json:"live"` // still running when snapshotted
+	Dropped uint64      `json:"dropped"`
+	Phases  []PhaseSpan `json:"phases,omitempty"`
+	Samples []Sample    `json:"samples"`
+}
+
+// timelines snapshots every retained timeline — completed runs plus
+// live ones — sorted by point key.
+func (cr *CampaignRecorder) timelines() []pointTimeline {
+	cr.mu.Lock()
+	live := make(map[string]*Recorder, len(cr.active))
+	for key, rec := range cr.active {
+		live[key] = rec
+	}
+	done := make(map[string]runFlight, len(cr.completed))
+	for key, fl := range cr.completed {
+		done[key] = fl
+	}
+	cr.mu.Unlock()
+
+	keys := make([]string, 0, len(live)+len(done))
+	for key := range done {
+		keys = append(keys, key)
+	}
+	for key := range live {
+		if _, dup := done[key]; !dup {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]pointTimeline, 0, len(keys))
+	for _, key := range keys {
+		if rec, ok := live[key]; ok {
+			out = append(out, pointTimeline{
+				Point: key, Live: true,
+				Dropped: rec.TimelineDropped(),
+				Phases:  rec.Phases(),
+				Samples: rec.Timeline(),
+			})
+			continue
+		}
+		fl := done[key]
+		out = append(out, pointTimeline{
+			Point:   key,
+			Dropped: fl.dropped,
+			Phases:  fl.phases,
+			Samples: fl.timeline,
+		})
+	}
+	return out
+}
+
+// WriteMetrics renders the campaign state as OpenMetrics text: progress
+// gauges plus the merged per-transaction-type latency histograms.
+func (cr *CampaignRecorder) WriteMetrics(w io.Writer) error {
+	p := cr.Progress()
+	o := &omWriter{w: w}
+	o.gauge("odb_campaign_points_total", "measurement points in the campaign", float64(p.TotalPoints))
+	o.gauge("odb_campaign_points_done", "points finished, resumed included", float64(p.PointsDone))
+	o.gauge("odb_campaign_points_resumed", "points restored from the checkpoint", float64(p.PointsResumed))
+	o.gauge("odb_campaign_points_failed", "points that returned an error", float64(p.PointsFailed))
+	o.gauge("odb_campaign_runs_total", "simulator runs executed", float64(p.Runs))
+	o.gauge("odb_campaign_probes_total", "tuner probes, cached included", float64(p.Probes))
+	o.gauge("odb_campaign_probes_cached", "tuner probes served from the memo", float64(p.ProbesCached))
+	o.gauge("odb_campaign_active_runs", "measurement runs in flight", float64(len(p.Active)))
+	doneVal := 0.0
+	if p.Done {
+		doneVal = 1
+	}
+	o.gauge("odb_campaign_done", "1 once the campaign has finished", doneVal)
+	hists := cr.MergedHistograms()
+	o.histogram("odb_txn_latency_us", "transaction latency in simulated microseconds, merged across runs", hists)
+	o.quantiles("odb_txn_latency_us_quantile", "merged transaction latency quantiles in simulated microseconds", hists)
+	o.printf("# EOF\n")
+	return o.err
+}
+
+// WriteTimeline renders every retained point timeline as JSON.
+func (cr *CampaignRecorder) WriteTimeline(w io.Writer) error {
+	return json.NewEncoder(w).Encode(struct {
+		Points []pointTimeline `json:"points"`
+	}{cr.timelines()})
+}
+
+// WriteProgress renders the campaign progress as JSON.
+func (cr *CampaignRecorder) WriteProgress(w io.Writer) error {
+	return json.NewEncoder(w).Encode(cr.Progress())
+}

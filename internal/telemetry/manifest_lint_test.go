@@ -1,0 +1,23 @@
+package telemetry
+
+import (
+	"testing"
+
+	"odbscale/internal/lint"
+)
+
+// TestManifestLintRulesInSync pins the manifest's hardcoded provenance
+// rule list to lint.All(): the list is duplicated so production
+// binaries don't link go/types, and this test is the synchronization.
+func TestManifestLintRulesInSync(t *testing.T) {
+	got := NewManifest("test", 0).Provenance.LintRules
+	want := lint.All()
+	if len(got) != len(want) {
+		t.Fatalf("manifest lists %d lint rules, lint.All() has %d — update NewManifest", len(got), len(want))
+	}
+	for i, a := range want {
+		if got[i] != a.Name {
+			t.Errorf("rule %d: manifest says %q, lint.All() says %q", i, got[i], a.Name)
+		}
+	}
+}

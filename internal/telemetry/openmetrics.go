@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// LatencySummary is the JSON-friendly digest of one latency histogram;
+// quantile values are simulated microseconds.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MinUS  uint64  `json:"min_us"`
+	MaxUS  uint64  `json:"max_us"`
+	// Encoded is the mergeable wire form (base64 via encoding/json),
+	// so downstream aggregators can reconstruct and merge the buckets.
+	Encoded []byte `json:"encoded,omitempty"`
+}
+
+// Summarize digests a histogram.
+func Summarize(h *Histogram, encoded bool) LatencySummary {
+	s := LatencySummary{
+		Count:  h.Count(),
+		MeanUS: h.Mean(),
+		P50US:  h.Quantile(0.50),
+		P95US:  h.Quantile(0.95),
+		P99US:  h.Quantile(0.99),
+		MinUS:  h.Min(),
+		MaxUS:  h.Max(),
+	}
+	if encoded {
+		s.Encoded = h.Encode()
+	}
+	return s
+}
+
+// SummarizeAll digests a histogram set keyed by transaction type.
+func SummarizeAll(hists map[string]*Histogram, encoded bool) map[string]LatencySummary {
+	out := make(map[string]LatencySummary, len(hists))
+	for name, h := range hists {
+		out[name] = Summarize(h, encoded)
+	}
+	return out
+}
+
+// omWriter accumulates OpenMetrics text lines, remembering the first
+// write error so call sites stay linear.
+type omWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (o *omWriter) printf(format string, args ...any) {
+	if o.err != nil {
+		return
+	}
+	_, o.err = fmt.Fprintf(o.w, format, args...)
+}
+
+// header emits the TYPE/HELP preamble of one metric family.
+func (o *omWriter) header(name, typ, help string) {
+	o.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// gauge emits one unlabelled gauge.
+func (o *omWriter) gauge(name, help string, v float64) {
+	o.header(name, "gauge", help)
+	o.printf("%s %g\n", name, v)
+}
+
+// histogram emits one classic cumulative-bucket histogram family with a
+// txn_type label. Only non-empty buckets produce le lines, plus +Inf.
+func (o *omWriter) histogram(name, help string, byType map[string]*Histogram) {
+	o.header(name, "histogram", help)
+	names := make([]string, 0, len(byType))
+	for t := range byType {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		h := byType[t]
+		var cum uint64
+		for i, c := range h.counts {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			o.printf("%s_bucket{txn_type=%q,le=\"%g\"} %d\n", name, t, float64(bucketUpper(i)), cum)
+		}
+		o.printf("%s_bucket{txn_type=%q,le=\"+Inf\"} %d\n", name, t, h.Count())
+		o.printf("%s_sum{txn_type=%q} %d\n", name, t, h.Sum())
+		o.printf("%s_count{txn_type=%q} %d\n", name, t, h.Count())
+	}
+}
+
+// quantiles emits p50/p95/p99 gauges per transaction type.
+func (o *omWriter) quantiles(name, help string, byType map[string]*Histogram) {
+	o.header(name, "gauge", help)
+	names := make([]string, 0, len(byType))
+	for t := range byType {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		h := byType[t]
+		for _, q := range []struct {
+			label string
+			v     float64
+		}{{"0.5", h.Quantile(0.50)}, {"0.95", h.Quantile(0.95)}, {"0.99", h.Quantile(0.99)}} {
+			o.printf("%s{txn_type=%q,quantile=%q} %g\n", name, t, q.label, q.v)
+		}
+	}
+}
+
+// WriteMetrics renders the recorder's live state as OpenMetrics text:
+// gauges from the most recent timeline sample, run-progress counters,
+// and the per-transaction-type latency histograms.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	o := &omWriter{w: w}
+	p := r.Progress()
+	o.gauge("odb_run_sim_seconds", "simulated seconds since run start", p.SimSeconds)
+	o.gauge("odb_run_txns_total", "commits since simulation start", float64(p.TotalTxns))
+	o.gauge("odb_run_measured_txns", "commits inside the measurement period", float64(p.MeasuredTxns))
+	o.gauge("odb_run_target_txns", "measured-transaction goal", float64(p.TargetTxns))
+	measuring := 0.0
+	if p.Phase == PhaseMeasure {
+		measuring = 1
+	}
+	o.gauge("odb_run_measuring", "1 while the measurement period is active", measuring)
+
+	if samples := r.Timeline(); len(samples) > 0 {
+		s := samples[len(samples)-1]
+		o.gauge("odb_tps", "interval transaction throughput", s.TPS)
+		o.gauge("odb_cpi", "interval cycles per instruction", s.CPI)
+		o.gauge("odb_user_ipx", "interval user instructions per transaction", s.UserIPX)
+		o.gauge("odb_os_ipx", "interval OS instructions per transaction", s.OSIPX)
+		o.gauge("odb_l2_mpi", "interval L2 misses per instruction", s.L2MPI)
+		o.gauge("odb_l3_mpi", "interval L3 misses per instruction", s.L3MPI)
+		o.gauge("odb_bus_util", "front-side bus utilization", s.BusUtil)
+		o.gauge("odb_buffer_hit_ratio", "interval buffer-cache hit ratio", s.BufferHit)
+		o.gauge("odb_run_queue", "ready-queue depth", float64(s.RunQueue))
+		o.gauge("odb_io_in_flight", "outstanding data-block reads", float64(s.IOInFlight))
+		o.header("odb_cpu_util", "gauge", "per-CPU interval busy fraction")
+		for cpu, u := range s.CPUUtil {
+			o.printf("odb_cpu_util{cpu=\"%d\"} %g\n", cpu, u)
+		}
+	}
+	hists := r.Histograms()
+	o.histogram("odb_txn_latency_us", "transaction latency in simulated microseconds", hists)
+	o.quantiles("odb_txn_latency_us_quantile", "transaction latency quantiles in simulated microseconds", hists)
+	o.printf("# EOF\n")
+	return o.err
+}
+
+// timelineDump is the JSON wire form of a timeline endpoint response.
+type timelineDump struct {
+	Dropped uint64   `json:"dropped"`
+	Samples []Sample `json:"samples"`
+}
+
+// WriteTimeline renders the retained samples as a JSON document.
+func (r *Recorder) WriteTimeline(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(timelineDump{Dropped: r.TimelineDropped(), Samples: r.Timeline()})
+}
+
+// WriteProgress renders the live run position as a JSON document.
+func (r *Recorder) WriteProgress(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.Progress())
+}
