@@ -23,6 +23,14 @@ type Source interface {
 	WriteProgress(io.Writer) error
 }
 
+// ProfileSource is the optional fourth endpoint: sources that also
+// carry cycle-attribution profiles (e.g. *profile.Store, or a combined
+// source wrapping one) additionally get /profile. Detected by type
+// assertion in NewMux, so plain flight sources keep working unchanged.
+type ProfileSource interface {
+	WriteProfiles(io.Writer) error
+}
+
 // contentTypeOM is the OpenMetrics exposition content type.
 const contentTypeOM = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
@@ -40,19 +48,25 @@ func handler(contentType string, write func(io.Writer) error) http.HandlerFunc {
 	}
 }
 
-// NewMux routes the three flight-recorder endpoints over src.
+// NewMux routes the flight-recorder endpoints over src, adding
+// /profile when src also carries cycle-attribution profiles.
 func NewMux(src Source) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", handler(contentTypeOM, src.WriteMetrics))
 	mux.HandleFunc("/timeline", handler("application/json", src.WriteTimeline))
 	mux.HandleFunc("/progress", handler("application/json", src.WriteProgress))
+	index := "odbscale flight recorder: /metrics /timeline /progress"
+	if ps, ok := src.(ProfileSource); ok {
+		mux.HandleFunc("/profile", handler("application/json", ps.WriteProfiles))
+		index += " /profile"
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "odbscale flight recorder: /metrics /timeline /progress")
+		fmt.Fprintln(w, index)
 	})
 	return mux
 }

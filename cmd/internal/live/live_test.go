@@ -15,6 +15,8 @@ import (
 	"testing"
 
 	"odbscale/internal/campaign"
+	"odbscale/internal/odb"
+	"odbscale/internal/profile"
 	"odbscale/internal/system"
 	"odbscale/internal/telemetry"
 )
@@ -108,6 +110,61 @@ func TestMuxEndpoints(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("/nope status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// profiledSource combines a flight source with a profile store — the
+// shape odbsweep serves when both -listen and -profile are set.
+type profiledSource struct {
+	*telemetry.CampaignRecorder
+	*profile.Store
+}
+
+// TestProfileEndpoint checks /profile appears exactly when the source
+// carries profiles, and serves the store's JSON payload.
+func TestProfileEndpoint(t *testing.T) {
+	// A plain flight source must not expose /profile.
+	plain := httptest.NewServer(NewMux(telemetry.NewRecorder(telemetry.Config{})))
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/profile on a plain source: status %d, want 404", resp.StatusCode)
+	}
+
+	st := profile.NewStore()
+	col := profile.NewCollector()
+	col.SetMeta(profile.Meta{Label: "W=10,P=1", Scale: 1})
+	col.AddChunk(profile.User,
+		[]profile.Share{{Kind: profile.KindOf(odb.NewOrder), Phase: odb.PhaseBTree, Instr: 1000}},
+		1000, 2500, profile.Events{L3Miss: 4})
+	st.Put("W=10,P=1", col.Profile())
+	src := profiledSource{telemetry.NewCampaignRecorder(telemetry.Config{}), st}
+
+	ts := httptest.NewServer(NewMux(src))
+	defer ts.Close()
+	body, ct, err := httpGet(ts.URL + "/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct != "application/json" {
+		t.Errorf("/profile content type = %q", ct)
+	}
+	var entries []struct {
+		Key     string           `json:"key"`
+		Profile *profile.Profile `json:"profile"`
+	}
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatalf("/profile JSON: %v\n%s", err, body)
+	}
+	if len(entries) != 1 || entries[0].Key != "W=10,P=1" || len(entries[0].Profile.Frames) == 0 {
+		t.Errorf("/profile payload = %s", body)
+	}
+	if idx, _, err := httpGet(ts.URL + "/"); err != nil || !strings.Contains(idx, "/profile") {
+		t.Errorf("index should advertise /profile: %q (err %v)", idx, err)
 	}
 }
 

@@ -20,6 +20,15 @@
 // sampled timelines) and /progress (live point/probe counters). With
 // -checkpoint, a run manifest (config, seed, provenance) is written
 // next to the checkpoint file at campaign start and completion.
+//
+// -profile turns on the cycle-attribution profiler: every point runs
+// under system.RunProfiled, per-point profiles persist in the
+// checkpoint (when one is configured), profiles are served on /profile
+// alongside -listen, and after the campaign each processor lane prints
+// the attribution shift across the cached-to-scaled pivot — the
+// smallest-W profile diffed against the largest-W one. -profiledir
+// additionally writes each point's profile JSON to a directory for
+// offline odbprof analysis.
 package main
 
 import (
@@ -30,15 +39,25 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"odbscale/cmd/internal/live"
 	"odbscale/internal/campaign"
 	"odbscale/internal/experiment"
+	"odbscale/internal/profile"
 	"odbscale/internal/system"
 	"odbscale/internal/telemetry"
 )
+
+// flightSource combines the campaign flight recorder with the profile
+// store so the live server exposes /profile next to the flight
+// endpoints.
+type flightSource struct {
+	*telemetry.CampaignRecorder
+	*profile.Store
+}
 
 func parseInts(s string) []int {
 	var out []int
@@ -66,6 +85,8 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from -checkpoint, re-executing only incomplete points")
 	events := flag.String("events", "", "append a JSON campaign event log to this file")
 	listen := flag.String("listen", "", "serve the live campaign flight recorder on this address (/metrics /timeline /progress)")
+	profileFlag := flag.Bool("profile", false, "run every point under the cycle-attribution profiler and print the attribution shift across the cached-to-scaled pivot")
+	profileDir := flag.String("profiledir", "", "with -profile, write each point's profile JSON into this directory")
 	csv := flag.Bool("csv", false, "CSV output")
 	jsonOut := flag.Bool("json", false, "JSON output (one object per point)")
 	quiet := flag.Bool("quiet", false, "suppress the stderr progress line")
@@ -108,15 +129,27 @@ func main() {
 	}
 	spec.Observer = campaign.Observers(observers...)
 
+	var profiles *profile.Store
+	if *profileFlag || *profileDir != "" {
+		profiles = profile.NewStore()
+		spec.Profiles = profiles
+	}
+
 	if *listen != "" {
 		flight := telemetry.NewCampaignRecorder(telemetry.Config{})
 		spec.Flight = flight
-		srv, err := live.Serve(*listen, flight)
+		var src live.Source = flight
+		endpoints := "/metrics /timeline /progress"
+		if profiles != nil {
+			src = flightSource{flight, profiles}
+			endpoints += " /profile"
+		}
+		srv, err := live.Serve(*listen, src)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		log.Printf("campaign flight recorder on http://%s (/metrics /timeline /progress)", srv.Addr())
+		log.Printf("campaign flight recorder on http://%s (%s)", srv.Addr(), endpoints)
 	}
 
 	// Ctrl-C cancels the campaign cleanly: in-flight runs stop at the
@@ -152,6 +185,53 @@ func main() {
 			default:
 				fmt.Println(m)
 			}
+		}
+	}
+
+	if profiles != nil {
+		emitProfiles(profiles, warehouses, processors, *profileDir)
+	}
+}
+
+// emitProfiles post-processes the campaign's profile store: optionally
+// write each point's profile JSON to dir, then print the attribution
+// shift across the cached-to-scaled pivot — the smallest-W point diffed
+// against the largest-W one — for each processor lane.
+func emitProfiles(st *profile.Store, warehouses, processors []int, dir string) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, key := range st.Keys() {
+			p := st.Get(key)
+			name := strings.NewReplacer("=", "", ",", "-").Replace(key) + ".json"
+			f, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := p.Encode(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		log.Printf("wrote %d profiles to %s", len(st.Keys()), dir)
+	}
+	if len(warehouses) < 2 {
+		return
+	}
+	for _, p := range processors {
+		lo := st.Get(telemetry.PointName(warehouses[0], p))
+		hi := st.Get(telemetry.PointName(warehouses[len(warehouses)-1], p))
+		if lo == nil || hi == nil {
+			continue
+		}
+		fmt.Printf("\nattribution shift across the pivot, P=%d (%s -> %s):\n",
+			p, lo.Meta.Label, hi.Meta.Label)
+		if err := profile.Diff(lo, hi).Write(os.Stdout); err != nil {
+			log.Fatal(err)
 		}
 	}
 }

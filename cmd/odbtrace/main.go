@@ -56,13 +56,44 @@ func main() {
 	fmt.Printf("replay with: odbtrace -replay %s -p %d\n", *out, *p)
 }
 
-func replaySweep(path, l3list string, p int) {
-	scale := system.DefaultTuning().Scale
-	for _, field := range strings.Split(l3list, ",") {
-		mb, err := strconv.Atoi(strings.TrimSpace(field))
-		if err != nil {
-			log.Fatalf("bad L3 size %q: %v", field, err)
+// parseL3List parses the -l3 capacity list. Every entry must be a
+// positive integer, blanks and duplicates are rejected — a sweep that
+// silently skipped or repeated a capacity would misreport the study.
+func parseL3List(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("-l3 list is empty")
+	}
+	fields := strings.Split(s, ",")
+	sizes := make([]int, 0, len(fields))
+	seen := make(map[int]bool, len(fields))
+	for i, field := range fields {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			return nil, fmt.Errorf("-l3 entry %d is empty (list %q)", i+1, s)
 		}
+		mb, err := strconv.Atoi(field)
+		if err != nil {
+			return nil, fmt.Errorf("-l3 entry %d: %q is not an integer", i+1, field)
+		}
+		if mb <= 0 {
+			return nil, fmt.Errorf("-l3 entry %d: capacity must be positive, got %d", i+1, mb)
+		}
+		if seen[mb] {
+			return nil, fmt.Errorf("-l3 entry %d: duplicate capacity %d", i+1, mb)
+		}
+		seen[mb] = true
+		sizes = append(sizes, mb)
+	}
+	return sizes, nil
+}
+
+func replaySweep(path, l3list string, p int) {
+	sizes, err := parseL3List(l3list)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scale := system.DefaultTuning().Scale
+	for _, mb := range sizes {
 		f, err := os.Open(path)
 		if err != nil {
 			log.Fatal(err)

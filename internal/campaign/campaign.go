@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"odbscale/internal/clock"
+	"odbscale/internal/profile"
 	"odbscale/internal/system"
 	"odbscale/internal/telemetry"
 )
@@ -87,6 +88,15 @@ type Spec struct {
 	// CheckpointPath is set, a run manifest is written next to it at
 	// campaign start and again at completion.
 	Flight *telemetry.CampaignRecorder
+
+	// Profiles, when set, turns on the cycle-attribution profiler: every
+	// measurement run executes under system.RunProfiled with a fresh
+	// collector (alongside the flight recorder when Flight is also set),
+	// and each finished point's profile lands in Profiles under its
+	// telemetry.PointName key. With a CheckpointPath the profile — and
+	// the run's latency histograms — persist in the checkpoint, so a
+	// resumed campaign restores them instead of losing them.
+	Profiles *profile.Store
 }
 
 // fingerprint reduces the spec to its run-defining parameters.
@@ -183,6 +193,11 @@ type Runner struct {
 	// runs when Spec.Flight is set; nil means system.RunRecorded. Tests
 	// interpose on it like RunFunc.
 	FlightFunc func(ctx context.Context, cfg system.Config, rec *telemetry.Recorder) (system.Metrics, error)
+
+	// ProfiledFunc is the profiled-run entry point used for measurement
+	// runs when Spec.Profiles is set; nil means system.RunProfiled. The
+	// recorder argument is nil unless Spec.Flight is also set.
+	ProfiledFunc func(ctx context.Context, cfg system.Config, rec *telemetry.Recorder, col *profile.Collector) (system.Metrics, error)
 
 	// Clock supplies the wall time behind the Elapsed fields of
 	// progress events; nil means the real clock. Simulated results
@@ -391,6 +406,20 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 		}
 		key := PointKey{W: w, P: p}
 		if pt, ok := ck.point(key); ok {
+			if pt.Flight != nil {
+				name := telemetry.PointName(w, p)
+				if spec.Flight != nil && len(pt.Flight.Hists) > 0 {
+					hists, err := decodeHists(pt.Flight.Hists)
+					if err != nil {
+						fail(fmt.Errorf("campaign: restoring W=%d P=%d: %w", w, p, err))
+						return
+					}
+					spec.Flight.RestoreRun(name, hists)
+				}
+				if spec.Profiles != nil && pt.Flight.Profile != nil {
+					spec.Profiles.Put(name, pt.Flight.Profile)
+				}
+			}
 			em.pointFinished(PointResult{
 				Point:   Point{Warehouses: w, Processors: p, Clients: pt.C},
 				Metrics: pt.Metrics,
@@ -433,20 +462,38 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 			em.pointStarted(point)
 			t0 := clk.Now()
 			cfg := spec.config(w, c, p, spec.MeasureTxns)
+			name := telemetry.PointName(w, p)
 			var m system.Metrics
 			var err error
-			if fl := spec.Flight; fl != nil {
+			var rec *telemetry.Recorder
+			var col *profile.Collector
+			switch {
+			case spec.Profiles != nil:
+				profFn := r.ProfiledFunc
+				if profFn == nil {
+					profFn = system.RunProfiled
+				}
+				if fl := spec.Flight; fl != nil {
+					rec = fl.StartRun(name)
+				}
+				col = profile.NewCollector()
+				m, err = pl.do(ctx, func(ctx context.Context) (system.Metrics, error) {
+					return profFn(ctx, cfg, rec, col)
+				})
+				if fl := spec.Flight; fl != nil {
+					fl.FinishRun(name, err == nil)
+				}
+			case spec.Flight != nil:
 				flightFn := r.FlightFunc
 				if flightFn == nil {
 					flightFn = system.RunRecorded
 				}
-				key := telemetry.PointName(w, p)
-				rec := fl.StartRun(key)
+				rec = spec.Flight.StartRun(name)
 				m, err = pl.do(ctx, func(ctx context.Context) (system.Metrics, error) {
 					return flightFn(ctx, cfg, rec)
 				})
-				fl.FinishRun(key, err == nil)
-			} else {
+				spec.Flight.FinishRun(name, err == nil)
+			default:
 				m, err = pl.run(ctx, runFn, cfg)
 			}
 			elapsed := clk.Since(t0)
@@ -455,9 +502,24 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 				fail(fmt.Errorf("campaign: W=%d P=%d: %w", w, p, err))
 				return
 			}
+			// Persist the point's observability payload alongside its
+			// metrics so a resumed campaign restores rather than loses it.
+			var pf *PointFlight
+			if rec != nil || col != nil {
+				pf = &PointFlight{}
+				if rec != nil {
+					pf.Hists = encodeHists(rec.Histograms())
+				}
+				if col != nil {
+					prof := col.Profile()
+					prof.Meta.Label = name
+					spec.Profiles.Put(name, prof)
+					pf.Profile = prof
+				}
+			}
 			em.pointFinished(PointResult{Point: point, Metrics: m, Elapsed: elapsed})
 			record(PointKey{W: w, P: p}, m)
-			if err := ck.addPoint(w, p, c, m); err != nil {
+			if err := ck.addPoint(w, p, c, m, pf); err != nil {
 				fail(fmt.Errorf("campaign: checkpointing W=%d P=%d: %w", w, p, err))
 			}
 		}(w, p, c)

@@ -1,0 +1,166 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"odbscale/internal/odb"
+	"odbscale/internal/profile"
+	"odbscale/internal/system"
+	"odbscale/internal/telemetry"
+)
+
+// fakeProfiled emulates a profiled measurement run: per-point flight
+// data (latency spans and a cycle-attribution profile) derived only
+// from the configuration, so two campaigns covering the same points
+// must converge on identical merged data regardless of interruption.
+type fakeProfiled struct {
+	mu    sync.Mutex
+	delay time.Duration
+	runs  int
+}
+
+func (f *fakeProfiled) run(ctx context.Context, cfg system.Config, rec *telemetry.Recorder, col *profile.Collector) (system.Metrics, error) {
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return system.Metrics{}, ctx.Err()
+		}
+	} else if err := ctx.Err(); err != nil {
+		return system.Metrics{}, err
+	}
+	f.mu.Lock()
+	f.runs++
+	f.mu.Unlock()
+	w := cfg.Warehouses
+	if rec != nil {
+		for i := 0; i < 10; i++ {
+			rec.ObserveSpan("NewOrder", uint64(w*100+i*7))
+			rec.ObserveSpan("Payment", uint64(w*50+i*3))
+		}
+	}
+	if col != nil {
+		col.SetMeta(profile.Meta{Warehouses: w, Clients: cfg.Clients, Processors: cfg.Processors, Scale: 1})
+		col.AddChunk(profile.User,
+			[]profile.Share{
+				{Kind: profile.KindOf(odb.NewOrder), Phase: odb.PhaseBTree, Instr: uint64(w) * 1000},
+				{Kind: profile.KindOf(odb.Payment), Phase: odb.PhaseBuffer, Instr: 500},
+			},
+			uint64(w)*1000+500, float64(w)*2500.25, profile.Events{L3Miss: uint64(w), BusLatency: float64(w) * 3})
+		col.AddChunk(profile.OS,
+			[]profile.Share{{Kind: profile.KindKernel, Phase: odb.PhaseSched, Instr: 200}},
+			200, 900, profile.Events{Mispred: 4})
+		col.Finalize(float64(w)/10, 10)
+	}
+	return system.Metrics{
+		Warehouses: w, Clients: cfg.Clients, Processors: cfg.Processors,
+		Txns: uint64(cfg.MeasureTxns),
+	}, nil
+}
+
+// TestFlightKillResumeMergesIdentically is the flight observer's
+// crash-consistency guarantee: a campaign killed mid-flight and resumed
+// with fresh recorder and profile store must converge on exactly the
+// merged histograms and per-point profiles of an uninterrupted run —
+// completed points come back from the checkpoint, not from re-runs.
+func TestFlightKillResumeMergesIdentically(t *testing.T) {
+	total := len(testWarehouses) * len(testProcessors)
+	specFor := func(path string) (Spec, *telemetry.CampaignRecorder, *profile.Store) {
+		spec := testSpec()
+		spec.AutoTune = false
+		spec.Clients = 8
+		spec.CheckpointPath = path
+		fl := telemetry.NewCampaignRecorder(telemetry.Config{})
+		spec.Flight = fl
+		st := profile.NewStore()
+		spec.Profiles = st
+		return spec, fl, st
+	}
+	dir := t.TempDir()
+
+	// Reference: uninterrupted campaign.
+	specA, flA, stA := specFor(filepath.Join(dir, "ckA.json"))
+	fpA := &fakeProfiled{}
+	if _, err := (&Runner{Spec: specA, ProfiledFunc: fpA.run}).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill after three successful points.
+	pathB := filepath.Join(dir, "ckB.json")
+	specB, _, _ := specFor(pathB)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := &recorder{onFinished: func(successes int) {
+		if successes == 3 {
+			cancel()
+		}
+	}}
+	specB.Observer = obs
+	fpB := &fakeProfiled{delay: 2 * time.Millisecond}
+	if _, err := (&Runner{Spec: specB, ProfiledFunc: fpB.run}).Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled campaign returned %v, want context.Canceled", err)
+	}
+	killed := len(obs.successes())
+	if killed < 3 || killed >= total {
+		t.Fatalf("kill finished %d of %d points — cancellation did not interrupt", killed, total)
+	}
+
+	// Resume against the same checkpoint with a fresh recorder and store.
+	specC, flC, stC := specFor(pathB)
+	specC.Resume = true
+	fpC := &fakeProfiled{}
+	res, err := (&Runner{Spec: specC, ProfiledFunc: fpC.run}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PointsResumed != killed {
+		t.Fatalf("resumed %d points, checkpoint held %d", res.Summary.PointsResumed, killed)
+	}
+	if fpC.runs != total-killed {
+		t.Fatalf("resume executed %d runs, want the %d incomplete points", fpC.runs, total-killed)
+	}
+
+	// The flight observer's progress must account for every point.
+	prog := flC.Progress()
+	if prog.PointsDone != total || prog.PointsResumed != killed || !prog.Done {
+		t.Errorf("progress = %+v, want done=%d resumed=%d", prog, total, killed)
+	}
+
+	// Merged latency histograms must be bit-identical to the
+	// uninterrupted campaign's.
+	ha, hc := flA.MergedHistograms(), flC.MergedHistograms()
+	if len(ha) == 0 || len(ha) != len(hc) {
+		t.Fatalf("histogram sets differ: %d vs %d", len(ha), len(hc))
+	}
+	for name, h := range ha {
+		other := hc[name]
+		if other == nil || !bytes.Equal(h.Encode(), other.Encode()) {
+			t.Errorf("histogram %q differs after kill/resume", name)
+		}
+	}
+
+	// Per-point profiles — restored ones included — must match exactly.
+	keysA, keysC := stA.Keys(), stC.Keys()
+	sort.Strings(keysA)
+	sort.Strings(keysC)
+	if !reflect.DeepEqual(keysA, keysC) {
+		t.Fatalf("profile keys differ:\n%v\n%v", keysA, keysC)
+	}
+	if len(keysA) != total {
+		t.Fatalf("store holds %d profiles, want %d", len(keysA), total)
+	}
+	for _, k := range keysA {
+		pa, pc := stA.Get(k), stC.Get(k)
+		if !reflect.DeepEqual(pa.Meta, pc.Meta) || !reflect.DeepEqual(pa.Frames, pc.Frames) {
+			t.Errorf("profile %q differs after kill/resume:\n%+v\n%+v", k, pa, pc)
+		}
+	}
+}

@@ -18,6 +18,7 @@ var determinismScope = map[string]bool{
 	"odbscale/internal/system":    true,
 	"odbscale/internal/campaign":  true,
 	"odbscale/internal/telemetry": true,
+	"odbscale/internal/profile":   true,
 }
 
 // Determinism forbids ambient entropy — wall clocks, the global

@@ -74,6 +74,7 @@ func TestFixtures(t *testing.T) {
 		// contribute nothing.
 		{"determinism", simScope},
 		{"telemetry", "odbscale/internal/telemetry"},
+		{"profile", "odbscale/internal/profile"},
 		{"maporder", "odbscale/internal/lint/fixture/maporder"},
 		{"sentinelerr", "odbscale/internal/lint/fixture/sentinelerr"},
 		{"floateq", "odbscale/internal/lint/fixture/floateq"},

@@ -1,0 +1,25 @@
+package fixture
+
+// frame mimics one profile frame: cycles attributed to a (txn, phase,
+// mode) key — pure accumulation, nothing ambient.
+type frame struct {
+	instr  uint64
+	cycles float64
+}
+
+// addChunk apportions a priced chunk across frames — deterministic
+// arithmetic on caller-supplied counts is exactly what the scope
+// permits.
+func addChunk(f *frame, instr uint64, cycles float64) {
+	f.instr += instr
+	f.cycles += cycles
+}
+
+// cpi derives cycles-per-instruction from accumulated frames; derived
+// ratios are fine, entropy is not.
+func cpi(f frame) float64 {
+	if f.instr == 0 {
+		return 0
+	}
+	return f.cycles / float64(f.instr)
+}

@@ -1,0 +1,29 @@
+// Package fixture is a lint test corpus for the profile determinism
+// scope: a cycle-attribution collector that stamps profiles from the
+// wall clock and salts frame order with global randomness. Loaded as
+// odbscale/internal/profile, every entropy call below must be flagged —
+// a profile must be a pure function of (W, P, seed), or diffing two
+// captures turns noise into findings.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// meta mimics profile metadata.
+type meta struct {
+	capturedAt time.Time
+	salt       int
+}
+
+// finalize is the regression the rule must catch: stamping the profile
+// with the wall clock and salting it from the global rand source.
+// Capture timestamps belong to the caller (cmd/ territory); frame
+// identity must come from the (txn, phase, mode) key alone.
+func finalize() meta {
+	return meta{
+		capturedAt: time.Now(),
+		salt:       rand.Intn(1 << 16),
+	}
+}

@@ -24,6 +24,48 @@ func (t TxnType) String() string { return txnNames[t] }
 // MixWeights is the standard transaction mix (percent).
 var MixWeights = [numTxnTypes]int{45, 43, 4, 4, 4}
 
+// Phase tags where in the engine an operation's work happens — the
+// frames of the cycle-attribution profiler. The first five are the ODB
+// engine phases (statement setup, index descent, buffer-cache access,
+// lock-manager traffic, redo generation and commit); the last three are
+// the OS-side phases charged by the system layer through the scheduler
+// callbacks (context switching, kernel syscall paths, idle).
+type Phase uint8
+
+// Engine and OS phases.
+const (
+	PhaseParse Phase = iota
+	PhaseBTree
+	PhaseBuffer
+	PhaseLock
+	PhaseLogCommit
+	PhaseSched
+	PhaseSyscall
+	PhaseIdle
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"parse", "btree", "buffer", "lock", "logcommit", "sched", "syscall", "idle",
+}
+
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return "phase(?)"
+}
+
+// PhaseFromString inverts String; unknown names report false.
+func PhaseFromString(s string) (Phase, bool) {
+	for i, name := range phaseNames {
+		if name == s {
+			return Phase(i), true
+		}
+	}
+	return 0, false
+}
+
 // OpKind enumerates operations in a transaction's execution program.
 type OpKind uint8
 
@@ -43,6 +85,7 @@ const (
 // the code executed between block touches.
 type Op struct {
 	Kind  OpKind
+	Phase Phase // engine phase the op (and its lead-in compute) belongs to
 	Block BlockID
 	Res   LockID
 	Instr uint64
@@ -166,20 +209,22 @@ type opBuilder struct {
 
 func (b *opBuilder) add(op Op) { b.ops = append(b.ops, op) }
 
-func (b *opBuilder) read(bl BlockID)  { b.add(Op{Kind: OpRead, Block: bl}) }
-func (b *opBuilder) write(bl BlockID) { b.add(Op{Kind: OpWrite, Block: bl}) }
+func (b *opBuilder) read(bl BlockID)  { b.add(Op{Kind: OpRead, Phase: PhaseBuffer, Block: bl}) }
+func (b *opBuilder) write(bl BlockID) { b.add(Op{Kind: OpWrite, Phase: PhaseBuffer, Block: bl}) }
 
 // writeRow is a write carrying a logical row effect for the payload engine.
 func (b *opBuilder) writeRow(bl BlockID, t TableID, ord uint64, delta int64) {
-	b.add(Op{Kind: OpWrite, Block: bl, Table: t, Ord: ord, Delta: delta})
+	b.add(Op{Kind: OpWrite, Phase: PhaseBuffer, Block: bl, Table: t, Ord: ord, Delta: delta})
 }
 
-func (b *opBuilder) lock(res LockID)   { b.add(Op{Kind: OpLock, Res: res}) }
-func (b *opBuilder) unlock(res LockID) { b.add(Op{Kind: OpUnlock, Res: res}) }
+func (b *opBuilder) lock(res LockID)   { b.add(Op{Kind: OpLock, Phase: PhaseLock, Res: res}) }
+func (b *opBuilder) unlock(res LockID) { b.add(Op{Kind: OpUnlock, Phase: PhaseLock, Res: res}) }
 
+// indexPath walks a B-tree from the root to the leaf; every touched
+// block is index descent work.
 func (b *opBuilder) indexPath(idx TableID, ord uint64) {
 	for _, bl := range b.g.L.Index(idx).Path(ord) {
-		b.read(bl)
+		b.add(Op{Kind: OpRead, Phase: PhaseBTree, Block: bl})
 	}
 }
 
@@ -189,9 +234,9 @@ func (b *opBuilder) finish() {
 	logBytes := 0
 	if base := logBytesFor[b.txn.Type]; base > 0 {
 		logBytes = int(b.g.jitter(uint64(base)))
-		b.add(Op{Kind: OpLog, Bytes: logBytes})
+		b.add(Op{Kind: OpLog, Phase: PhaseLogCommit, Bytes: logBytes})
 	}
-	b.add(Op{Kind: OpCommit})
+	b.add(Op{Kind: OpCommit, Phase: PhaseLogCommit})
 	n := uint64(len(b.ops))
 	per := b.budget / n
 	rem := b.budget - per*n

@@ -248,13 +248,11 @@ func (s *Scheduler) step(cpu int, p *Proc) {
 	})
 }
 
-// Utilization returns mean CPU utilization since the last ResetStats,
-// requiring the current time to close out running idle periods.
-func (s *Scheduler) Utilization() float64 {
-	elapsed := float64(s.eng.Now()-s.resetAt) * float64(s.cfg.CPUs)
-	if elapsed <= 0 {
-		return 0
-	}
+// IdleCyclesAt returns the idle cycles accumulated across CPUs since
+// the last ResetStats, closing out still-open idle periods at now. The
+// cycle-attribution profiler reads it at finalize to form the idle
+// frame; Utilization derives from the same sum.
+func (s *Scheduler) IdleCyclesAt(now sim.Time) float64 {
 	idle := s.stats.IdleCycles
 	for i := range s.cpus {
 		if s.cpus[i].idle {
@@ -262,9 +260,20 @@ func (s *Scheduler) Utilization() float64 {
 			if since < s.resetAt {
 				since = s.resetAt
 			}
-			idle += float64(s.eng.Now() - since)
+			idle += float64(now - since)
 		}
 	}
+	return idle
+}
+
+// Utilization returns mean CPU utilization since the last ResetStats,
+// requiring the current time to close out running idle periods.
+func (s *Scheduler) Utilization() float64 {
+	elapsed := float64(s.eng.Now()-s.resetAt) * float64(s.cfg.CPUs)
+	if elapsed <= 0 {
+		return 0
+	}
+	idle := s.IdleCyclesAt(s.eng.Now())
 	u := 1 - idle/elapsed
 	if u < 0 {
 		return 0

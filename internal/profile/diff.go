@@ -1,0 +1,118 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// DiffEntry compares one frame across two profiles. Shares are each
+// side's fraction of its own total busy cycles, so profiles of
+// different lengths compare on attribution, not magnitude.
+type DiffEntry struct {
+	Txn   string `json:"txn"`
+	Phase string `json:"phase"`
+	Mode  string `json:"mode"`
+
+	CyclesA float64 `json:"cycles_a"`
+	CyclesB float64 `json:"cycles_b"`
+	ShareA  float64 `json:"share_a"`
+	ShareB  float64 `json:"share_b"`
+	Delta   float64 `json:"delta"` // ShareB - ShareA
+}
+
+// DiffResult is the frame-by-frame comparison of two profiles.
+type DiffResult struct {
+	LabelA   string      `json:"label_a"`
+	LabelB   string      `json:"label_b"`
+	CPIA     float64     `json:"cpi_a"`
+	CPIB     float64     `json:"cpi_b"`
+	L3ShareA float64     `json:"l3_share_a"`
+	L3ShareB float64     `json:"l3_share_b"`
+	Entries  []DiffEntry `json:"entries"`
+}
+
+// Diff compares two profiles — two runs, or two sweep points across the
+// cached-to-scaled pivot. Entries are sorted by |share delta|, largest
+// attribution shift first; ties break on frame identity so the result
+// is deterministic.
+func Diff(a, b *Profile) *DiffResult {
+	d := &DiffResult{
+		LabelA:   labelOr(a.Meta.Label, "A"),
+		LabelB:   labelOr(b.Meta.Label, "B"),
+		CPIA:     a.CPI(),
+		CPIB:     b.CPI(),
+		L3ShareA: a.L3Share(),
+		L3ShareB: b.L3Share(),
+	}
+	totalA, totalB := a.TotalCycles(), b.TotalCycles()
+	type side struct{ a, b float64 }
+	byKey := map[[3]string]*side{}
+	var keys [][3]string
+	collect := func(p *Profile, set func(s *side, cycles float64)) {
+		for i := range p.Frames {
+			f := &p.Frames[i]
+			if f.Idle() {
+				continue
+			}
+			key := [3]string{f.Txn, f.Phase, f.Mode}
+			s := byKey[key]
+			if s == nil {
+				s = &side{}
+				byKey[key] = s
+				keys = append(keys, key)
+			}
+			set(s, f.Cycles)
+		}
+	}
+	collect(a, func(s *side, c float64) { s.a += c })
+	collect(b, func(s *side, c float64) { s.b += c })
+	for _, key := range keys {
+		s := byKey[key]
+		e := DiffEntry{Txn: key[0], Phase: key[1], Mode: key[2], CyclesA: s.a, CyclesB: s.b}
+		if totalA > 0 {
+			e.ShareA = s.a / totalA
+		}
+		if totalB > 0 {
+			e.ShareB = s.b / totalB
+		}
+		e.Delta = e.ShareB - e.ShareA
+		d.Entries = append(d.Entries, e)
+	}
+	sort.SliceStable(d.Entries, func(i, j int) bool {
+		x, y := &d.Entries[i], &d.Entries[j]
+		ax, ay := math.Abs(x.Delta), math.Abs(y.Delta)
+		//lint:ignore floateq sort tiebreak needs any total order, not a tolerance
+		if ax != ay {
+			return ax > ay
+		}
+		if x.Txn != y.Txn {
+			return x.Txn < y.Txn
+		}
+		if x.Phase != y.Phase {
+			return x.Phase < y.Phase
+		}
+		return x.Mode < y.Mode
+	})
+	return d
+}
+
+// Write renders the diff as a table, largest attribution shift first.
+func (d *DiffResult) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "A=%s  CPI=%.4f  L3 share=%.1f%%\nB=%s  CPI=%.4f  L3 share=%.1f%%\n",
+		d.LabelA, d.CPIA, d.L3ShareA*100, d.LabelB, d.CPIB, d.L3ShareB*100); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-32s %8s %8s %8s\n", "frame", "A", "B", "delta"); err != nil {
+		return err
+	}
+	for _, e := range d.Entries {
+		name := fmt.Sprintf("%s/%s (%s)", e.Txn, e.Phase, e.Mode)
+		if _, err := fmt.Fprintf(w, "%-32s %7.2f%% %7.2f%% %+7.2f%%\n",
+			name, e.ShareA*100, e.ShareB*100, e.Delta*100); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Store retains one profile per sweep point so a campaign can be
+// profiled end to end. Keys are the campaign's point names
+// ("W=10,P=1"); insertion order is preserved for deterministic output.
+type Store struct {
+	mu    sync.Mutex
+	keys  []string
+	byKey map[string]*Profile
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{byKey: map[string]*Profile{}} }
+
+// Put stores a point's profile, replacing any previous one.
+func (s *Store) Put(key string, p *Profile) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byKey[key]; !ok {
+		s.keys = append(s.keys, key)
+	}
+	s.byKey[key] = p
+}
+
+// Get returns the profile stored for key, or nil.
+func (s *Store) Get(key string) *Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byKey[key]
+}
+
+// Keys returns the stored point names in insertion order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.keys))
+	copy(out, s.keys)
+	return out
+}
+
+// Merged sums every stored profile into one campaign-wide profile.
+func (s *Store) Merged(label string) *Profile {
+	s.mu.Lock()
+	profiles := make([]*Profile, 0, len(s.keys))
+	for _, k := range s.keys {
+		profiles = append(profiles, s.byKey[k])
+	}
+	s.mu.Unlock()
+	return Merge(label, profiles...)
+}
+
+// WriteProfiles writes every stored profile as one JSON object keyed by
+// point name — the payload of the live server's /profile endpoint.
+func (s *Store) WriteProfiles(w io.Writer) error {
+	s.mu.Lock()
+	type entry struct {
+		Key     string   `json:"key"`
+		Profile *Profile `json:"profile"`
+	}
+	entries := make([]entry, 0, len(s.keys))
+	for _, k := range s.keys {
+		entries = append(entries, entry{Key: k, Profile: s.byKey[k]})
+	}
+	s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(entries); err != nil {
+		return fmt.Errorf("profile: encoding store: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package system
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"odbscale/internal/profile"
+	"odbscale/internal/telemetry"
+)
+
+// TestRunProfiledDoesNotPerturb pins the profiler's core invariant:
+// metrics are bit-identical with profiling on. Same seed, with and
+// without the collector (and with and without the flight recorder
+// alongside), must produce identical Metrics.
+func TestRunProfiledDoesNotPerturb(t *testing.T) {
+	cfg := flightCfg()
+	plain, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := profile.NewCollector()
+	profiled, err := RunProfiled(context.Background(), cfg, nil, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != profiled {
+		t.Errorf("profiler perturbed the simulation:\nplain    %+v\nprofiled %+v", plain, profiled)
+	}
+
+	// Profiling alongside the flight recorder must match a recorded run.
+	rec := telemetry.NewRecorder(telemetry.Config{})
+	recorded, err := RunRecorded(context.Background(), cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2 := telemetry.NewRecorder(telemetry.Config{})
+	both, err := RunProfiled(context.Background(), cfg, rec2, profile.NewCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded != both {
+		t.Errorf("profiler perturbed a recorded run:\nrecorded %+v\nboth     %+v", recorded, both)
+	}
+
+	// Nil collector and recorder degrade to RunContext.
+	viaNil, err := RunProfiled(context.Background(), cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaNil != plain {
+		t.Error("RunProfiled(nil, nil) differs from RunContext")
+	}
+}
+
+// TestRunProfiledDeterministic checks the profile itself is reproducible
+// bit for bit across reruns of the same seed.
+func TestRunProfiledDeterministic(t *testing.T) {
+	run := func() *profile.Profile {
+		col := profile.NewCollector()
+		if _, err := RunProfiled(context.Background(), flightCfg(), nil, col); err != nil {
+			t.Fatal(err)
+		}
+		return col.Profile()
+	}
+	a, b := run(), run()
+	if len(a.Frames) == 0 {
+		t.Fatal("empty profile")
+	}
+	if len(a.Frames) != len(b.Frames) {
+		t.Fatalf("frame counts differ: %d vs %d", len(a.Frames), len(b.Frames))
+	}
+	for i := range a.Frames {
+		if a.Frames[i] != b.Frames[i] {
+			t.Fatalf("frame %d differs:\n%+v\n%+v", i, a.Frames[i], b.Frames[i])
+		}
+	}
+}
+
+// TestProfileAccountsWholeRun checks conservation on a small run: the
+// profile's instruction total and CPI must reproduce the measured
+// metrics (the apportionment telescopes, so only float summation order
+// separates them).
+func TestProfileAccountsWholeRun(t *testing.T) {
+	cfg := flightCfg()
+	col := profile.NewCollector()
+	m, err := RunProfiled(context.Background(), cfg, nil, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := col.Profile()
+
+	wantInstr := uint64(math.Round(m.IPX * float64(m.Txns)))
+	if got := p.TotalInstr(); got != wantInstr {
+		t.Errorf("profile instructions = %d, metrics imply %d", got, wantInstr)
+	}
+	if rel := math.Abs(p.CPI()-m.CPI) / m.CPI; rel > 1e-9 {
+		t.Errorf("profile CPI %.12f vs metrics CPI %.12f (rel %.3g)", p.CPI(), m.CPI, rel)
+	}
+	if p.Meta.Txns != m.Txns {
+		t.Errorf("profile txns %d != metrics %d", p.Meta.Txns, m.Txns)
+	}
+	if p.Meta.ElapsedSeconds != m.ElapsedSeconds {
+		t.Errorf("profile elapsed %f != metrics %f", p.Meta.ElapsedSeconds, m.ElapsedSeconds)
+	}
+}
+
+// TestProfileCPIBreakdownAtScale is the acceptance configuration: at
+// W=200/P=4 the per-phase CPI breakdown must sum to the whole-run CPI
+// within 1e-9, with the L3-miss share of cycles in the paper's reported
+// range (Section 5 attributes roughly 60% of CPI to L3 misses at scale).
+func TestProfileCPIBreakdownAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large configuration")
+	}
+	cfg := DefaultConfig(200, HeuristicClients(200, 4), 4)
+	cfg.WarmupTxns = 200
+	cfg.MeasureTxns = 600
+	col := profile.NewCollector()
+	m, err := RunProfiled(context.Background(), cfg, nil, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := col.Profile()
+
+	var sum float64
+	rows := p.PhaseBreakdown()
+	if len(rows) < 5 {
+		t.Fatalf("only %d phases attributed: %+v", len(rows), rows)
+	}
+	for _, r := range rows {
+		sum += r.CPI
+		if total := r.Comp.Total(); math.Abs(total-r.Cycles) > 1e-6*math.Max(1, r.Cycles) {
+			t.Errorf("phase %s components sum %.3f != cycles %.3f", r.Phase, total, r.Cycles)
+		}
+	}
+	if rel := math.Abs(sum-m.CPI) / m.CPI; rel > 1e-9 {
+		t.Errorf("phase CPI sum %.12f vs whole-run CPI %.12f (rel %.3g)", sum, m.CPI, rel)
+	}
+
+	l3 := p.L3Share()
+	if l3 < 0.40 || l3 > 0.80 {
+		t.Errorf("L3-miss cycle share %.3f outside the paper's reported range (~0.6)", l3)
+	}
+	// The profile's event-model view must agree with the whole-run
+	// Figure 12 assembly from the metrics path.
+	if metL3 := m.Breakdown.Share()["L3"]; math.Abs(l3-metL3) > 0.05 {
+		t.Errorf("profile L3 share %.3f far from metrics breakdown %.3f", l3, metL3)
+	}
+
+	// Engine phases from both modes must be present at scale: B-tree
+	// descent, buffer access, logging, scheduling and syscalls.
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if r.Cycles > 0 {
+			seen[r.Phase] = true
+		}
+	}
+	for _, want := range []string{"parse", "btree", "buffer", "logcommit", "sched", "syscall"} {
+		if !seen[want] {
+			t.Errorf("phase %q missing from breakdown %v", want, rows)
+		}
+	}
+}

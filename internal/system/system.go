@@ -12,6 +12,7 @@ import (
 	"odbscale/internal/cpu"
 	"odbscale/internal/odb"
 	"odbscale/internal/osker"
+	"odbscale/internal/profile"
 	"odbscale/internal/sim"
 	"odbscale/internal/storage"
 	"odbscale/internal/telemetry"
@@ -57,6 +58,14 @@ type machine struct {
 	rec         *telemetry.Recorder
 	flUserInstr uint64
 	flOSInstr   uint64
+
+	// Cycle-attribution profiler (nil unless RunProfiled). The chunk
+	// execution paths append per-frame instruction shares to the scratch
+	// lists; price apportions the chunk's cycles and events over them and
+	// truncates. Purely observational: no randomness, no scheduling.
+	prof       *profile.Collector
+	userShares []profile.Share
+	osShares   []profile.Share
 
 	measuring bool
 	wantReset bool
@@ -384,6 +393,11 @@ func (m *machine) runChunk(p *osker.Proc, cpuID int, budget uint64) osker.Outcom
 	blocks := sp.carry
 	sp.carry = nil
 	blocked := false
+	if m.prof != nil {
+		// Deferred I/O-completion and writer-assist work charged to this
+		// process executes in interrupt context, not the transaction.
+		m.osShares = addShare(m.osShares, profile.KindKernel, odb.PhaseSyscall, osInstr)
+	}
 
 loop:
 	for userInstr < chunkCap {
@@ -391,12 +405,24 @@ loop:
 			sp.txn = m.gen.Next(p.ID)
 			sp.opIdx = 0
 			osInstr += t.PerTxnOSInstr
+			if m.prof != nil {
+				m.osShares = addShare(m.osShares, profile.KindOf(sp.txn.Type), odb.PhaseSyscall, t.PerTxnOSInstr)
+			}
 			if m.rec != nil {
 				sp.startAt = m.eng.Now()
 			}
 		}
 		op := &sp.txn.Ops[sp.opIdx]
 		userInstr += op.Instr
+		if m.prof != nil {
+			// The first op's lead-in compute is the parse/plan work of the
+			// statement; later ops carry their builder-assigned phase.
+			ph := op.Phase
+			if sp.opIdx == 0 {
+				ph = odb.PhaseParse
+			}
+			m.userShares = addShare(m.userShares, profile.KindOf(sp.txn.Type), ph, op.Instr)
+		}
 		switch op.Kind {
 		case odb.OpRead, odb.OpWrite:
 			write := op.Kind == odb.OpWrite
@@ -426,9 +452,15 @@ loop:
 				m.inflight[block] = append(waiters, ioWaiter{proc: p, sp: sp, write: write})
 				if !pending {
 					osInstr += t.IOIssueInstr
+					if m.prof != nil {
+						m.osShares = addShare(m.osShares, profile.KindOf(sp.txn.Type), odb.PhaseSyscall, t.IOIssueInstr)
+					}
 					m.disks.Read(uint64(block), func() { m.readDone(block) })
 				} else {
 					osInstr += 2000 // buffer-wait path; the read is in flight
+					if m.prof != nil {
+						m.osShares = addShare(m.osShares, profile.KindOf(sp.txn.Type), odb.PhaseSyscall, 2000)
+					}
 				}
 				blocked = true
 				break loop
@@ -438,6 +470,9 @@ loop:
 			if !m.lm.Acquire(op.Res, p.ID, func() { m.sched.Wake(proc) }) {
 				sp.opIdx++
 				osInstr += 2000 // semaphore sleep path
+				if m.prof != nil {
+					m.osShares = addShare(m.osShares, profile.KindOf(sp.txn.Type), odb.PhaseLock, 2000)
+				}
 				blocked = true
 				break loop
 			}
@@ -446,6 +481,9 @@ loop:
 		case odb.OpLog:
 			kb := (op.Bytes + 1023) / 1024
 			osInstr += t.LogInstrPerKB * uint64(kb)
+			if m.prof != nil {
+				m.osShares = addShare(m.osShares, profile.KindOf(sp.txn.Type), odb.PhaseLogCommit, t.LogInstrPerKB*uint64(kb))
+			}
 			m.disks.LogWrite(1, nil)
 			if m.measuring {
 				m.logBytes += float64(op.Bytes)
@@ -512,6 +550,9 @@ func (m *machine) runDBWriter(p *osker.Proc, cpuID int) osker.Outcome {
 		}
 		osInstr += uint64(len(ids)) * t.DBWriterInstr
 	}
+	if m.prof != nil {
+		m.osShares = addShare(m.osShares, profile.KindDBWriter, odb.PhaseSyscall, osInstr)
+	}
 	cycles := m.price(cpuID, p.ID, 0, osInstr, blocks)
 	return osker.Outcome{Cycles: cycles, Instr: osInstr, Block: true}
 }
@@ -571,6 +612,9 @@ func (m *machine) price(cpuID, procID int, userInstr, osInstr uint64, blocks []o
 		}
 		if m.measuring {
 			m.user.add(userInstr, userCycles, ev.TCMiss, ev.L2Miss, ev.L3Miss, ev.CoherMiss, ev.TLBMiss, ev.Mispred, ev.BusLatency)
+			if m.prof != nil {
+				m.prof.AddChunk(profile.User, m.userShares, userInstr, userCycles, profEvents(ev))
+			}
 		}
 	}
 	if osInstr > 0 {
@@ -582,7 +626,16 @@ func (m *machine) price(cpuID, procID int, userInstr, osInstr uint64, blocks []o
 		}
 		if m.measuring {
 			m.os.add(osInstr, osCycles, ev.TCMiss, ev.L2Miss, ev.L3Miss, ev.CoherMiss, ev.TLBMiss, ev.Mispred, ev.BusLatency)
+			if m.prof != nil {
+				m.prof.AddChunk(profile.OS, m.osShares, osInstr, osCycles, profEvents(ev))
+			}
 		}
+	}
+	if m.prof != nil {
+		// Shares are per chunk; truncate whether or not they flushed (the
+		// warm-up period collects and discards).
+		m.userShares = m.userShares[:0]
+		m.osShares = m.osShares[:0]
 	}
 	return sim.Time(userCycles + osCycles)
 }
@@ -606,6 +659,9 @@ func (m *machine) eventCycles(instr uint64, ev workload.Events) float64 {
 // contextSwitch prices the OS switch path and flushes the TLB.
 func (m *machine) contextSwitch(p *osker.Proc, cpuID int) sim.Time {
 	m.synth.FlushTLB(cpuID)
+	if m.prof != nil {
+		m.osShares = addShare(m.osShares, profile.KindKernel, odb.PhaseSched, m.cfg.Tuning.CtxSwitchInstr)
+	}
 	return m.price(cpuID, p.ID, 0, m.cfg.Tuning.CtxSwitchInstr, nil)
 }
 

@@ -103,6 +103,26 @@ func (cr *CampaignRecorder) FinishRun(key string, ok bool) {
 	}
 }
 
+// RestoreRun reinstates a completed run's flight data from a campaign
+// checkpoint: the per-type latency histograms merge into the
+// campaign-wide aggregate exactly as FinishRun would have merged the
+// live recorder's, so a killed-and-resumed campaign converges on the
+// same merged histograms as an uninterrupted one. Timelines are not
+// persisted in checkpoints, so the restored point has no timeline
+// entry.
+func (cr *CampaignRecorder) RestoreRun(key string, hists map[string]*Histogram) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	for name, h := range hists {
+		m := cr.merged[name]
+		if m == nil {
+			m = &Histogram{}
+			cr.merged[name] = m
+		}
+		m.Merge(h)
+	}
+}
+
 // Event updates the campaign progress counters; the campaign package's
 // flight observer is the only intended caller.
 func (cr *CampaignRecorder) Event(update func(*CampaignProgress)) {

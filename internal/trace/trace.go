@@ -69,6 +69,7 @@ func (t *Writer) Flush() error { return t.w.Flush() }
 // Reader iterates over a stored trace.
 type Reader struct {
 	r *bufio.Reader
+	n uint64 // records returned so far
 }
 
 // NewReader validates the header and returns a reader.
@@ -84,21 +85,29 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return &Reader{r: br}, nil
 }
 
-// Next returns the next record; io.EOF ends the trace.
+// Next returns the next record; io.EOF ends the trace. Read failures
+// mid-stream are wrapped with the failing record's index and byte
+// offset, so a corrupt or truncated trace names the exact spot; a clean
+// io.EOF at a record boundary passes through unwrapped.
 func (t *Reader) Next() (Record, error) {
 	var buf [10]byte
 	if _, err := io.ReadFull(t.r, buf[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return Record{}, errors.New("trace: truncated record")
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			return Record{}, err
 		}
-		return Record{}, err
+		return Record{}, fmt.Errorf("trace: record %d (offset %d): %w", t.n, t.offset(), err)
 	}
+	t.n++
 	return Record{
 		CPU:  buf[0],
 		Kind: Kind(buf[1]),
 		Addr: binary.LittleEndian.Uint64(buf[2:]),
 	}, nil
 }
+
+// offset returns the file position of the next record: the 6-byte
+// header plus the fixed 10-byte records already consumed.
+func (t *Reader) offset() uint64 { return uint64(len(magic)) + t.n*10 }
 
 // ReplayStats summarizes one replay.
 type ReplayStats struct {
@@ -131,7 +140,7 @@ func Replay(r *Reader, domain *cache.Domain) (ReplayStats, error) {
 			return s, err
 		}
 		if int(rec.CPU) >= len(domain.CPUs) {
-			return s, fmt.Errorf("trace: record for CPU %d but domain has %d", rec.CPU, len(domain.CPUs))
+			return s, fmt.Errorf("trace: record %d is for CPU %d but domain has %d", s.Refs, rec.CPU, len(domain.CPUs))
 		}
 		res := domain.Access(int(rec.CPU), cache.Addr(rec.Addr), rec.Kind)
 		s.Refs++

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -85,14 +86,29 @@ func TestTruncatedRecord(t *testing.T) {
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
 	w.Write(Record{Addr: 1})
+	w.Write(Record{Addr: 2})
 	w.Flush()
 	data := buf.Bytes()[:buf.Len()-3] // chop mid-record
 	r, err := NewReader(bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Next(); err == nil || errors.Is(err, io.EOF) {
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	if err == nil || errors.Is(err, io.EOF) {
 		t.Fatalf("want truncation error, got %v", err)
+	}
+	// The error names the failing record, carries its byte offset, and
+	// wraps the underlying cause for errors.Is chains.
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncation error does not wrap io.ErrUnexpectedEOF: %v", err)
+	}
+	for _, want := range []string{"record 1", "offset 16"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
 	}
 }
 
