@@ -341,7 +341,7 @@ func runAblation(b *testing.B, mutate func(*system.Config)) system.Metrics {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	m, err := system.Run(cfg)
+	m, err := system.Run(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -463,7 +463,7 @@ func BenchmarkFlightRecorder(b *testing.B) {
 	cfg.WarmupTxns = 300
 	b.Run("off", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := system.RunContext(context.Background(), cfg); err != nil {
+			if _, err := system.Run(context.Background(), cfg); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -471,7 +471,76 @@ func BenchmarkFlightRecorder(b *testing.B) {
 	b.Run("on", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			rec := telemetry.NewRecorder(telemetry.Config{})
-			if _, err := system.RunRecorded(context.Background(), cfg, rec); err != nil {
+			if _, err := system.Run(context.Background(), cfg, system.WithRecorder(rec)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFullRunAllocations is the committed bench trajectory's target
+// workload (full-run-w200-p4 in BENCH_head.json) run under -benchmem:
+// the W=200, P=4 full run whose wall clock and allocation count the CI
+// bench job compares against BENCH_baseline.json.
+func BenchmarkFullRunAllocations(b *testing.B) {
+	cfg := system.DefaultConfig(200, system.HeuristicClients(200, 4), 4)
+	cfg.MeasureTxns = 1200
+	cfg.WarmupTxns = 300
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := system.Run(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnoopLanes measures the coherence domain's deterministic
+// parallel snoop lanes against the sequential loop on the same
+// configuration. At P=4 the fork/join barrier costs more than it saves
+// — which is exactly why the MinParallelCPUs gate keeps small domains
+// sequential; the benchmark documents that crossover. Metrics are
+// bit-identical either way (see TestParallelSnoopBitIdentical).
+func BenchmarkSnoopLanes(b *testing.B) {
+	base := system.DefaultConfig(200, system.HeuristicClients(200, 4), 4)
+	base.MeasureTxns = 1200
+	base.WarmupTxns = 300
+	for _, mode := range []struct {
+		name  string
+		lanes int
+	}{{"sequential", -1}, {"parallel-4", 4}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := base
+			cfg.Tuning.SnoopLanes = mode.lanes
+			for i := 0; i < b.N; i++ {
+				if _, err := system.Run(context.Background(), cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunObservers measures the full observer stack — flight
+// recorder plus cycle profiler through the one Run entry point —
+// against the bare run, pinning the claim that observers are cheap
+// attachments rather than separate code paths.
+func BenchmarkRunObservers(b *testing.B) {
+	cfg := system.DefaultConfig(200, system.HeuristicClients(200, 4), 4)
+	cfg.MeasureTxns = 1200
+	cfg.WarmupTxns = 300
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := system.Run(context.Background(), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recorder+profiler", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := telemetry.NewRecorder(telemetry.Config{})
+			col := odbscale.NewProfileCollector()
+			if _, err := system.Run(context.Background(), cfg,
+				system.WithRecorder(rec), system.WithProfiler(col)); err != nil {
 				b.Fatal(err)
 			}
 		}

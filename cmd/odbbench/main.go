@@ -1,0 +1,259 @@
+// Command odbbench measures the simulator's own performance and maintains
+// the repository's committed bench trajectory (BENCH_baseline.json /
+// BENCH_head.json). It runs a fixed suite of full-run and micro
+// benchmarks through testing.Benchmark, writes the results as JSON, and
+// can compare two result files benchstat-style, failing on regression.
+//
+// Usage:
+//
+//	odbbench [-count 5] [-out BENCH_head.json] [-note "..."] [-run regexp]
+//	odbbench -compare BENCH_baseline.json BENCH_head.json [-maxregress 0.10]
+//
+// The compare mode exits 1 when any benchmark's wall time regressed by
+// more than maxregress (default 10%), which is how CI enforces the perf
+// trajectory: every PR regenerates BENCH_head.json and compares it
+// against the committed baseline.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"odbscale/internal/odb"
+	"odbscale/internal/sim"
+	"odbscale/internal/system"
+	"odbscale/internal/xrand"
+)
+
+// Result is one benchmark's measurement: the minimum over count runs
+// (minimum wall time is the standard noise-robust statistic for
+// throughput benchmarks), with allocation counts from the same run.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Runs        int     `json:"runs"`
+}
+
+// File is the on-disk format of BENCH_*.json.
+type File struct {
+	Generated string   `json:"generated"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Note      string   `json:"note,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// fullRunConfig builds the standard full-run benchmark configuration.
+func fullRunConfig(w, p, txns int) system.Config {
+	cfg := system.DefaultConfig(w, system.HeuristicClients(w, p), p)
+	cfg.MeasureTxns = txns
+	cfg.WarmupTxns = 300
+	return cfg
+}
+
+// suite is the fixed benchmark set. full-run-w200-p4 is the acceptance
+// benchmark the perf trajectory is judged on; the W=10 and W=1200 points
+// bracket it with the cached and I/O-bound regimes.
+var suite = []struct {
+	name string
+	fn   func(b *testing.B)
+}{
+	{"full-run-w10-p1", func(b *testing.B) { benchFullRun(b, fullRunConfig(10, 1, 1200)) }},
+	{"full-run-w200-p4", func(b *testing.B) { benchFullRun(b, fullRunConfig(200, 4, 1200)) }},
+	{"full-run-w1200-p4", func(b *testing.B) { benchFullRun(b, fullRunConfig(1200, 4, 300)) }},
+	{"event-dispatch", benchEventDispatch},
+	{"txn-gen", benchTxnGen},
+}
+
+func benchFullRun(b *testing.B, cfg system.Config) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := system.Run(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEventDispatch measures the discrete-event core alone: a
+// self-rescheduling event chain with interleaved cancels, the schedule /
+// dispatch / cancel pattern the machine model produces.
+func benchEventDispatch(b *testing.B) {
+	b.ReportAllocs()
+	const events = 1_000_000
+	for i := 0; i < b.N; i++ {
+		eng := sim.New()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < events {
+				eng.After(3, tick)
+				if n%4 == 0 {
+					ev := eng.After(10, func() {})
+					ev.Cancel()
+				}
+			}
+		}
+		eng.After(1, tick)
+		for eng.Step() {
+		}
+		if n != events {
+			b.Fatalf("dispatched %d events", n)
+		}
+	}
+}
+
+// benchTxnGen measures transaction-program generation, the per-commit
+// allocation path of the ODB engine model.
+func benchTxnGen(b *testing.B) {
+	b.ReportAllocs()
+	layout := odb.NewLayout(100)
+	gen := odb.NewGenerator(layout, xrand.New(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 10_000; j++ {
+			txn := gen.Next(j % 32)
+			if len(txn.Ops) == 0 {
+				b.Fatal("empty transaction")
+			}
+			gen.Recycle(txn)
+		}
+	}
+}
+
+func measure(count int, filter *regexp.Regexp) []Result {
+	var out []Result
+	for _, bm := range suite {
+		if filter != nil && !filter.MatchString(bm.name) {
+			continue
+		}
+		best := Result{Name: bm.name, Runs: count}
+		for i := 0; i < count; i++ {
+			r := testing.Benchmark(bm.fn)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if i == 0 || ns < best.NsPerOp {
+				best.NsPerOp = ns
+				best.AllocsPerOp = r.AllocsPerOp()
+				best.BytesPerOp = r.AllocedBytesPerOp()
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%-20s %14.0f ns/op %12d allocs/op %14d B/op\n",
+			best.Name, best.NsPerOp, best.AllocsPerOp, best.BytesPerOp)
+		out = append(out, best)
+	}
+	return out
+}
+
+func writeFile(path, note string, results []Result) error {
+	f := File{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Note:      note,
+		Results:   results,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	err = json.Unmarshal(data, &f)
+	return f, err
+}
+
+// compare reports head against base and returns false when any shared
+// benchmark's wall time regressed beyond maxRegress.
+func compare(base, head File, maxRegress float64) bool {
+	byName := map[string]Result{}
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	ok := true
+	fmt.Printf("%-20s %14s %14s %9s %9s\n", "benchmark", "base ns/op", "head ns/op", "speedup", "allocs")
+	for _, h := range head.Results {
+		b, found := byName[h.Name]
+		if !found {
+			fmt.Printf("%-20s %14s %14.0f %9s %9d (new)\n", h.Name, "-", h.NsPerOp, "-", h.AllocsPerOp)
+			continue
+		}
+		speed := b.NsPerOp / h.NsPerOp
+		allocRatio := "-"
+		if b.AllocsPerOp > 0 {
+			allocRatio = fmt.Sprintf("%.2fx", float64(b.AllocsPerOp)/float64(h.AllocsPerOp+1))
+		}
+		flag := ""
+		if h.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			flag = "  REGRESSION"
+			ok = false
+		}
+		fmt.Printf("%-20s %14.0f %14.0f %8.2fx %9s%s\n", h.Name, b.NsPerOp, h.NsPerOp, speed, allocRatio, flag)
+	}
+	return ok
+}
+
+func main() {
+	count := flag.Int("count", 3, "runs per benchmark; the minimum is kept")
+	out := flag.String("out", "", "write results to this JSON file")
+	note := flag.String("note", "", "free-form provenance note stored in the file")
+	runFilter := flag.String("run", "", "regexp selecting benchmarks to run")
+	cmp := flag.String("compare", "", "baseline JSON; compare against the head file argument instead of measuring")
+	maxRegress := flag.Float64("maxregress", 0.10, "fail when ns/op regresses beyond this fraction")
+	flag.Parse()
+
+	if *cmp != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: odbbench -compare base.json head.json")
+			os.Exit(2)
+		}
+		base, err := readFile(*cmp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odbbench:", err)
+			os.Exit(2)
+		}
+		head, err := readFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odbbench:", err)
+			os.Exit(2)
+		}
+		if !compare(base, head, *maxRegress) {
+			fmt.Fprintln(os.Stderr, "odbbench: performance regression beyond threshold")
+			os.Exit(1)
+		}
+		return
+	}
+
+	var filter *regexp.Regexp
+	if *runFilter != "" {
+		var err error
+		if filter, err = regexp.Compile(*runFilter); err != nil {
+			fmt.Fprintln(os.Stderr, "odbbench:", err)
+			os.Exit(2)
+		}
+	}
+	results := measure(*count, filter)
+	if *out != "" {
+		if err := writeFile(*out, *note, results); err != nil {
+			fmt.Fprintln(os.Stderr, "odbbench:", err)
+			os.Exit(2)
+		}
+	}
+}

@@ -93,7 +93,7 @@ func capture(args []string) {
 	}
 
 	col := profile.NewCollector()
-	m, err := system.RunProfiled(context.Background(), cfg, nil, col)
+	m, err := system.Run(context.Background(), cfg, system.WithProfiler(col))
 	if err != nil {
 		log.Fatal(err)
 	}

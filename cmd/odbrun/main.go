@@ -81,7 +81,7 @@ func main() {
 	}
 
 	started := time.Now()
-	m, err := system.RunRecorded(context.Background(), cfg, rec)
+	m, err := system.Run(context.Background(), cfg, system.WithRecorder(rec))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,7 +22,7 @@
 // next to the checkpoint file at campaign start and completion.
 //
 // -profile turns on the cycle-attribution profiler: every point runs
-// under system.RunProfiled, per-point profiles persist in the
+// under system.Run with WithProfiler, per-point profiles persist in the
 // checkpoint (when one is configured), profiles are served on /profile
 // alongside -listen, and after the campaign each processor lane prints
 // the attribution shift across the cached-to-scaled pivot — the

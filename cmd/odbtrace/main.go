@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"log"
@@ -47,7 +49,8 @@ func main() {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	m, refs, err := system.RunTraced(cfg, f)
+	var refs uint64
+	m, err := system.Run(context.Background(), cfg, system.WithTrace(f, &refs))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -53,7 +55,7 @@ func runPoint(w, p, l3MB int) odbscale.Metrics {
 			cfg.Machine.Geometry.L3Ways = 12
 		}
 	}
-	m, err := odbscale.Run(cfg)
+	m, err := odbscale.Run(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -23,7 +25,8 @@ func main() {
 	emon := odbscale.DefaultEMONConfig(cfg.Machine.FreqHz)
 	emon.Window /= 100
 
-	m, results, err := odbscale.RunEMON(cfg, emon)
+	var results []odbscale.EMONResult
+	m, err := odbscale.Run(context.Background(), cfg, odbscale.WithEMON(emon, &results))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -66,7 +66,7 @@ func main() {
 
 	cfg := odbscale.DefaultConfig(target, 64, p)
 	cfg.MeasureTxns = 2000
-	m, err := odbscale.RunContext(ctx, cfg)
+	m, err := odbscale.Run(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -14,7 +16,7 @@ func main() {
 	// 100 warehouses, 32 clients, 4 processors — a mid-sized setup near
 	// the cached-to-scaled transition.
 	cfg := odbscale.DefaultConfig(100, 32, 4)
-	m, err := odbscale.Run(cfg)
+	m, err := odbscale.Run(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -64,6 +64,7 @@ type Cache struct {
 
 	head, tail           *Entry // head = MRU, tail = LRU
 	dirtyHead, dirtyTail *Entry // dirtyTail = oldest dirty
+	free                 *Entry // recycled entries, chained through next
 	size                 int
 	dirtyCount           int
 
@@ -78,7 +79,15 @@ func New(cfg Config) *Cache {
 	if cfg.Payloads && cfg.BlockSize <= 0 {
 		panic("buffercache: payload mode needs a block size")
 	}
-	return &Cache{cfg: cfg, table: make(map[BlockID]*Entry, cfg.Blocks)}
+	c := &Cache{cfg: cfg, table: make(map[BlockID]*Entry, cfg.Blocks)}
+	// The cache runs at capacity in steady state, so carve all entries out
+	// of one arena up front and hand them out through the free list.
+	arena := make([]Entry, cfg.Blocks)
+	for i := range arena {
+		arena[i].next = c.free
+		c.free = &arena[i]
+	}
+	return c
 }
 
 // --- intrusive LRU list ---
@@ -162,11 +171,15 @@ func (c *Cache) Lookup(id BlockID) *Entry {
 	return e
 }
 
-// Evicted describes a block displaced by Install. In payload mode Data
-// carries the victim's page so a dirty victim can be written to disk.
+// Evicted describes a block displaced by Install. Valid reports whether an
+// eviction happened at all; it is a value, not a pointer, so the steady
+// state of a full cache (every install evicts) does not allocate. In
+// payload mode Data carries the victim's page so a dirty victim can be
+// written to disk.
 type Evicted struct {
 	ID    BlockID
 	Dirty bool
+	Valid bool
 	Data  []byte
 }
 
@@ -175,11 +188,15 @@ type Evicted struct {
 // block that is already present is a bug in the caller and panics.
 // The second return reports the eviction, if one happened; a dirty victim
 // must be written back by the caller (eviction write).
-func (c *Cache) Install(id BlockID) (*Entry, *Evicted) {
+//
+// Entry structs are pooled: an evicted block's entry is recycled for the
+// incoming block, so a warmed-up cache installs without allocating. The
+// victim's payload page (if any) is handed off in Evicted, never reused.
+func (c *Cache) Install(id BlockID) (*Entry, Evicted) {
 	if _, ok := c.table[id]; ok {
 		panic(fmt.Sprintf("buffercache: Install of resident block %d", id))
 	}
-	var ev *Evicted
+	var ev Evicted
 	if c.size >= c.cfg.Blocks {
 		victim := c.tail
 		for victim != nil && victim.pins > 0 {
@@ -188,7 +205,7 @@ func (c *Cache) Install(id BlockID) (*Entry, *Evicted) {
 		if victim == nil {
 			panic("buffercache: all blocks pinned, cannot install")
 		}
-		ev = &Evicted{ID: victim.ID, Dirty: victim.dirty, Data: victim.Data}
+		ev = Evicted{ID: victim.ID, Dirty: victim.dirty, Valid: true, Data: victim.Data}
 		if victim.dirty {
 			c.stats.Writebacks++
 			c.dirtyRemove(victim)
@@ -197,8 +214,18 @@ func (c *Cache) Install(id BlockID) (*Entry, *Evicted) {
 		delete(c.table, victim.ID)
 		c.size--
 		c.stats.Evictions++
+		victim.Data = nil
+		victim.next = c.free
+		c.free = victim
 	}
-	e := &Entry{ID: id, pins: 1, touch: c.stats.Gets}
+	var e *Entry
+	if c.free != nil {
+		e = c.free
+		c.free = e.next
+		*e = Entry{ID: id, pins: 1, touch: c.stats.Gets}
+	} else {
+		e = &Entry{ID: id, pins: 1, touch: c.stats.Gets}
+	}
 	if c.cfg.Payloads {
 		e.Data = make([]byte, c.cfg.BlockSize)
 	}
@@ -238,19 +265,25 @@ func (c *Cache) CleanBatch(max int) []BlockID { return c.CleanAged(max, 0) }
 // instead of being written over and over, as with Oracle's LRU-W writer;
 // only aged (cooled-off) dirty blocks reach the disk.
 func (c *Cache) CleanAged(max int, minAge uint64) []BlockID {
-	var out []BlockID
+	return c.CleanAgedInto(nil, max, minAge)
+}
+
+// CleanAgedInto is CleanAged appending into dst, so a periodic caller (the
+// DB writer tick) can reuse one scratch buffer across calls.
+func (c *Cache) CleanAgedInto(dst []BlockID, max int, minAge uint64) []BlockID {
+	start := len(dst)
 	e := c.dirtyTail
-	for e != nil && len(out) < max {
+	for e != nil && len(dst)-start < max {
 		prev := e.dirtyPrev
 		if e.pins == 0 && c.stats.Gets-e.touch >= minAge {
 			e.dirty = false
 			c.dirtyRemove(e)
 			c.stats.Writebacks++
-			out = append(out, e.ID)
+			dst = append(dst, e.ID)
 		}
 		e = prev
 	}
-	return out
+	return dst
 }
 
 // CleanAllDirty cleans every dirty unpinned block regardless of position

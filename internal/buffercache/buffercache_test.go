@@ -16,7 +16,7 @@ func TestMissThenHit(t *testing.T) {
 		t.Fatal("cold lookup hit")
 	}
 	e, ev := c.Install(1)
-	if ev != nil {
+	if ev.Valid {
 		t.Fatalf("eviction on non-full cache: %+v", ev)
 	}
 	c.Release(e)
@@ -41,7 +41,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 	e := c.Lookup(1)
 	c.Release(e)
 	_, ev := c.Install(3)
-	if ev == nil || ev.ID != 2 {
+	if !ev.Valid || ev.ID != 2 {
 		t.Fatalf("evicted %+v, want block 2", ev)
 	}
 }
@@ -52,7 +52,7 @@ func TestPinnedBlocksSkipped(t *testing.T) {
 	b, _ := c.Install(2)
 	c.Release(b)
 	_, ev := c.Install(3)
-	if ev == nil || ev.ID != 2 {
+	if !ev.Valid || ev.ID != 2 {
 		t.Fatalf("evicted %+v, want unpinned block 2", ev)
 	}
 	c.Release(pinned)
@@ -87,7 +87,7 @@ func TestDirtyEvictionCountsWriteback(t *testing.T) {
 	c.MarkDirty(e)
 	c.Release(e)
 	_, ev := c.Install(2)
-	if ev == nil || !ev.Dirty {
+	if !ev.Valid || !ev.Dirty {
 		t.Fatalf("eviction = %+v, want dirty", ev)
 	}
 	if c.Stats().Writebacks != 1 {
@@ -224,10 +224,10 @@ func TestInvariantsQuick(t *testing.T) {
 			id := BlockID(rng.Intn(64))
 			e := c.Lookup(id)
 			if e == nil {
-				var ev *Evicted
+				var ev Evicted
 				e, ev = c.Install(id)
 				resident[id] = true
-				if ev != nil {
+				if ev.Valid {
 					delete(resident, ev.ID)
 					delete(dirtyRef, ev.ID)
 				}

@@ -159,10 +159,14 @@ func (c *Cache) Access(line uint64, write bool, fillState State) (hit bool, vict
 		}
 	}
 	c.stats.Misses++
-	if _, ok := c.invalidated[line]; ok {
-		delete(c.invalidated, line)
-		c.stats.CoherMisses++
-		coherMiss = true
+	// The empty-map guard keeps the single-processor (and low-sharing)
+	// fast path free of a per-miss map probe.
+	if len(c.invalidated) != 0 {
+		if _, ok := c.invalidated[line]; ok {
+			delete(c.invalidated, line)
+			c.stats.CoherMisses++
+			coherMiss = true
+		}
 	}
 	// Choose a victim: an invalid way if available, else LRU.
 	victimIdx := 0

@@ -94,6 +94,7 @@ type Domain struct {
 	Coherent  bool
 	CPUs      []*Hierarchy
 	sampleMod uint64
+	par       *lanes // non-nil when parallel snoop lanes are enabled
 }
 
 // NewDomain builds hierarchies for n CPUs sharing one coherence domain.
@@ -202,6 +203,17 @@ func (h *Hierarchy) l2WritebackToL3(victim Evicted) {
 // returns the state the line should be installed in.
 func (d *Domain) snoop(cpu int, line uint64, write bool) State {
 	anyOther := false
+	if d.par != nil {
+		anyOther = d.par.broadcast(cpu, line, write)
+		switch {
+		case write:
+			return Modified
+		case anyOther:
+			return Shared
+		default:
+			return Exclusive
+		}
+	}
 	for i, other := range d.CPUs {
 		if i == cpu {
 			continue
@@ -229,6 +241,10 @@ func (d *Domain) snoop(cpu int, line uint64, write bool) State {
 }
 
 func (d *Domain) invalidateOthers(cpu int, line uint64) {
+	if d.par != nil {
+		d.par.broadcast(cpu, line, true)
+		return
+	}
 	for i, other := range d.CPUs {
 		if i == cpu {
 			continue

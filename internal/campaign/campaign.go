@@ -81,7 +81,7 @@ type Spec struct {
 	Observer Observer
 
 	// Flight, when set, turns on the flight recorder: every measurement
-	// run executes under system.RunRecorded feeding a per-run telemetry
+	// run executes under system.Run with WithRecorder feeding a per-run telemetry
 	// recorder, finished runs merge their latency histograms and retain
 	// their timelines in Flight, and a flight observer keeps Flight's
 	// campaign progress current for the live HTTP endpoints. When a
@@ -90,7 +90,7 @@ type Spec struct {
 	Flight *telemetry.CampaignRecorder
 
 	// Profiles, when set, turns on the cycle-attribution profiler: every
-	// measurement run executes under system.RunProfiled with a fresh
+	// measurement run executes under system.Run with WithProfiler and a fresh
 	// collector (alongside the flight recorder when Flight is also set),
 	// and each finished point's profile lands in Profiles under its
 	// telemetry.PointName key. With a CheckpointPath the profile — and
@@ -182,20 +182,36 @@ func (r *Result) Series(p int) []system.Metrics {
 // RunFunc is the simulator entry point a Runner drives.
 type RunFunc func(ctx context.Context, cfg system.Config) (system.Metrics, error)
 
+// The default entry points all route through the one system.Run API,
+// differing only in which observers they attach.
+func defaultRun(ctx context.Context, cfg system.Config) (system.Metrics, error) {
+	return system.Run(ctx, cfg)
+}
+
+func defaultFlightRun(ctx context.Context, cfg system.Config, rec *telemetry.Recorder) (system.Metrics, error) {
+	return system.Run(ctx, cfg, system.WithRecorder(rec))
+}
+
+func defaultProfiledRun(ctx context.Context, cfg system.Config, rec *telemetry.Recorder, col *profile.Collector) (system.Metrics, error) {
+	return system.Run(ctx, cfg, system.WithRecorder(rec), system.WithProfiler(col))
+}
+
 // Runner executes campaigns. The zero value with a Spec is ready to
 // use; RunFunc may be overridden to interpose on simulator runs (tests,
 // caching layers).
 type Runner struct {
 	Spec    Spec
-	RunFunc RunFunc // nil means system.RunContext
+	RunFunc RunFunc // nil means system.Run
 
 	// FlightFunc is the recorded-run entry point used for measurement
-	// runs when Spec.Flight is set; nil means system.RunRecorded. Tests
+	// runs when Spec.Flight is set; nil means system.Run with
+	// WithRecorder. Tests
 	// interpose on it like RunFunc.
 	FlightFunc func(ctx context.Context, cfg system.Config, rec *telemetry.Recorder) (system.Metrics, error)
 
 	// ProfiledFunc is the profiled-run entry point used for measurement
-	// runs when Spec.Profiles is set; nil means system.RunProfiled. The
+	// runs when Spec.Profiles is set; nil means system.Run with
+	// WithRecorder and WithProfiler. The
 	// recorder argument is nil unless Spec.Flight is also set.
 	ProfiledFunc func(ctx context.Context, cfg system.Config, rec *telemetry.Recorder, col *profile.Collector) (system.Metrics, error)
 
@@ -313,7 +329,7 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	}
 	runFn := r.RunFunc
 	if runFn == nil {
-		runFn = system.RunContext
+		runFn = defaultRun
 	}
 	obs := spec.Observer
 	if obs == nil {
@@ -471,7 +487,7 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 			case spec.Profiles != nil:
 				profFn := r.ProfiledFunc
 				if profFn == nil {
-					profFn = system.RunProfiled
+					profFn = defaultProfiledRun
 				}
 				if fl := spec.Flight; fl != nil {
 					rec = fl.StartRun(name)
@@ -486,7 +502,7 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 			case spec.Flight != nil:
 				flightFn := r.FlightFunc
 				if flightFn == nil {
-					flightFn = system.RunRecorded
+					flightFn = defaultFlightRun
 				}
 				rec = spec.Flight.StartRun(name)
 				m, err = pl.do(ctx, func(ctx context.Context) (system.Metrics, error) {
@@ -573,7 +589,7 @@ func RunAll(ctx context.Context, parallelism int, cfgs []system.Config) ([]syste
 		wg.Add(1)
 		go func(i int, cfg system.Config) {
 			defer wg.Done()
-			m, err := pl.run(ctx, system.RunContext, cfg)
+			m, err := pl.run(ctx, defaultRun, cfg)
 			out[i], errs[i] = m, err
 			if err != nil {
 				cancel()

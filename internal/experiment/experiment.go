@@ -110,7 +110,7 @@ func (o Options) CampaignSpec(ws, ps []int) campaign.Spec {
 // returned with its achieved utilization.
 func (o Options) TuneClients(w, p int) (int, error) {
 	probe := func(c int) (float64, error) {
-		m, err := system.Run(o.config(w, c, p, o.TuneTxns))
+		m, err := system.Run(context.Background(), o.config(w, c, p, o.TuneTxns))
 		if err != nil {
 			return 0, err
 		}
@@ -135,7 +135,7 @@ func (o Options) RunPoint(w, p int) (system.Metrics, error) {
 		}
 		c = tuned
 	}
-	return system.Run(o.config(w, c, p, o.MeasureTxns))
+	return system.Run(context.Background(), o.config(w, c, p, o.MeasureTxns))
 }
 
 // Sweep measures every warehouse count for one processor configuration.

@@ -54,7 +54,7 @@ type Analyzer struct {
 
 // All returns the full rule set in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, SentinelErr, FloatEq, CtxLoop}
+	return []*Analyzer{Determinism, MapOrder, SentinelErr, FloatEq, CtxLoop, HotWaiver}
 }
 
 // A Pass hands one type-checked unit to an analyzer and collects its

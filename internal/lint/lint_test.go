@@ -80,6 +80,7 @@ func TestFixtures(t *testing.T) {
 		{"floateq", "odbscale/internal/lint/fixture/floateq"},
 		{"tolerant", "odbscale/internal/stats"},
 		{"ctxloop", "odbscale/internal/lint/fixture/ctxloop"},
+		{"hotwaiver", simScope},
 		{"suppress", "odbscale/internal/lint/fixture/suppress"},
 		{"malformed", "odbscale/internal/lint/fixture/malformed"},
 	}
@@ -95,6 +96,14 @@ func TestFixtures(t *testing.T) {
 func TestDeterminismScope(t *testing.T) {
 	if got := runFixture(t, "determinism", "odbscale/internal/lint/fixture/unscoped"); len(got) != 0 {
 		t.Errorf("determinism fired outside its package scope:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+// TestHotWaiverScope loads the hotwaiver corpus outside the hot-path
+// packages: the same vague waivers must not be flagged there.
+func TestHotWaiverScope(t *testing.T) {
+	if got := runFixture(t, "hotwaiver", "odbscale/internal/lint/fixture/coldpath"); len(got) != 0 {
+		t.Errorf("hotwaiver fired outside its package scope:\n%s", strings.Join(got, "\n"))
 	}
 }
 

@@ -1,0 +1,14 @@
+// Negative corpus: waivers whose reasons name the perf concern they
+// protect contribute no findings.
+package fixture
+
+// PerfReason names the allocation the waiver protects.
+func PerfReason(a, b float64) bool {
+	//lint:ignore floateq exact compare avoids the epsilon helper's allocation on the hot pricing path
+	return a == b
+}
+
+// PoolReason names the pooling invariant.
+func PoolReason(a float64) bool {
+	return a == 0 //lint:ignore floateq zero marks a recycled pool slot, never a computed value
+}

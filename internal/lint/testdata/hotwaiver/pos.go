@@ -1,0 +1,18 @@
+// Package fixture exercises the hotwaiver rule's positive corpus:
+// loaded under a hot-path import path, these waivers carry reasons that
+// name no performance concern, so each directive is a finding. The
+// floateq violations they cover stay suppressed either way — hotwaiver
+// audits the reason, it does not un-suppress the underlying rule.
+package fixture
+
+// VagueReason waives with a reason that explains nothing about perf.
+func VagueReason(a, b float64) bool {
+	//lint:ignore floateq this is fine
+	return a == b
+}
+
+// WrongConcern waives with a correctness rationale where a perf one is
+// required.
+func WrongConcern(a float64) bool {
+	return a == 0 //lint:ignore floateq zero guard on a computed value
+}

@@ -40,8 +40,9 @@ func (p Piecewise) String() string {
 // combined SSE over all breakpoint choices. Points must be sorted by
 // increasing x. Each segment receives at least two points; the breakpoint
 // candidate set is the measured x values themselves, matching the paper's
-// least-squares-per-region procedure. A valid fit also requires the two
-// lines to actually intersect.
+// least-squares-per-region procedure. When the fitted segments are
+// (near-)parallel their intersection is meaningless, so the pivot falls
+// back to the midpoint of the breakpoint interval.
 func FitPiecewise(xs, ys []float64) (Piecewise, error) {
 	if len(xs) != len(ys) {
 		return Piecewise{}, fmt.Errorf("model: mismatched lengths %d vs %d", len(xs), len(ys))
@@ -70,8 +71,13 @@ func FitPiecewise(xs, ys []float64) (Piecewise, error) {
 			continue
 		}
 		pivot, err := Intersection(cached, scaled)
-		if err != nil {
-			continue
+		if err != nil || pivot < xs[0] || pivot > xs[n-1] {
+			// Near-parallel segments put the intersection far outside the
+			// measured range (or nowhere), where it has no physical
+			// meaning as a regime boundary. The breakpoint search already
+			// locates the regime change between xs[k] and xs[k+1]; use
+			// that interval's midpoint as the data-driven pivot.
+			pivot = (xs[k] + xs[k+1]) / 2
 		}
 		sse := cached.SSE + scaled.SSE
 		if sse < best.SSE {

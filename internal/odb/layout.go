@@ -52,11 +52,17 @@ func (t *Btree) Height() int { return len(t.levels) }
 // Path returns the root-to-leaf block IDs visited when looking up the
 // entry with ordinal position ord (0 <= ord < Entries).
 func (t *Btree) Path(ord uint64) []BlockID {
+	return t.AppendPath(make([]BlockID, 0, len(t.levels)), ord)
+}
+
+// AppendPath appends the root-to-leaf path for ordinal ord to dst and
+// returns it, letting per-transaction callers reuse one scratch buffer
+// instead of allocating a path per index descent.
+func (t *Btree) AppendPath(dst []BlockID, ord uint64) []BlockID {
 	if ord >= t.Entries {
 		panic(fmt.Sprintf("odb: ordinal %d out of range for %s (%d entries)", ord, t.Name, t.Entries))
 	}
 	leaf := ord / t.LeafCap
-	path := make([]BlockID, 0, len(t.levels))
 	offset := uint64(0)
 	nLeaves := t.levels[len(t.levels)-1]
 	for lvl, count := range t.levels {
@@ -68,10 +74,10 @@ func (t *Btree) Path(ord uint64) []BlockID {
 		} else {
 			idx = leaf * count / nLeaves
 		}
-		path = append(path, t.base+BlockID(offset+idx))
+		dst = append(dst, t.base+BlockID(offset+idx))
 		offset += count
 	}
-	return path
+	return dst
 }
 
 // Heap is the block extent of a heap table.

@@ -70,7 +70,7 @@ func (s *Store) pin(block BlockID) *buffercache.Entry {
 			e.Data[i] = 0
 		}
 	}
-	if ev != nil && ev.Dirty {
+	if ev.Valid && ev.Dirty {
 		s.flushPage(ev.ID, ev.Data)
 	}
 	return e

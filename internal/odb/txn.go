@@ -143,6 +143,10 @@ type Generator struct {
 	// StockLevelScan bounds the stock-level item scan (the full TPC-C
 	// examines 200; the default trims it to keep op streams compact).
 	StockLevelScan int
+
+	free []*Txn    // recycled transactions; their Ops capacity is reused
+	path []BlockID // index-descent scratch
+	seen []BlockID // duplicate-block scratch for scan loops
 }
 
 // NewGenerator builds a generator over layout l with its own RNG stream.
@@ -169,13 +173,30 @@ func (g *Generator) pickType() TxnType {
 	return NewOrder
 }
 
+// Recycle returns a finished transaction to the generator's pool so the
+// next Next reuses its op slice. The caller must not retain txn (or any
+// Op pointer into it) afterwards.
+func (g *Generator) Recycle(txn *Txn) {
+	if txn == nil {
+		return
+	}
+	g.free = append(g.free, txn)
+}
+
 // Next generates the next transaction for the given client.
 func (g *Generator) Next(client int) *Txn {
 	w := g.rng.Intn(g.L.Warehouses)
 	_ = client
 	d := g.rng.Intn(DistrictsPerWarehouse)
 	t := g.pickType()
-	txn := &Txn{Type: t, Home: w, District: d}
+	var txn *Txn
+	if n := len(g.free); n > 0 {
+		txn = g.free[n-1]
+		g.free = g.free[:n-1]
+		*txn = Txn{Type: t, Home: w, District: d, Ops: txn.Ops[:0]}
+	} else {
+		txn = &Txn{Type: t, Home: w, District: d}
+	}
 	b := &opBuilder{g: g, txn: txn, budget: g.jitter(instrBudget[t])}
 	switch t {
 	case NewOrder:
@@ -199,15 +220,16 @@ func (g *Generator) jitter(n uint64) uint64 {
 	return uint64(float64(n) * f)
 }
 
-// opBuilder accumulates ops and spreads the instruction budget across them.
+// opBuilder accumulates ops and spreads the instruction budget across
+// them. Ops accumulate directly into txn.Ops so a recycled transaction's
+// capacity is reused.
 type opBuilder struct {
 	g      *Generator
 	txn    *Txn
 	budget uint64
-	ops    []Op
 }
 
-func (b *opBuilder) add(op Op) { b.ops = append(b.ops, op) }
+func (b *opBuilder) add(op Op) { b.txn.Ops = append(b.txn.Ops, op) }
 
 func (b *opBuilder) read(bl BlockID)  { b.add(Op{Kind: OpRead, Phase: PhaseBuffer, Block: bl}) }
 func (b *opBuilder) write(bl BlockID) { b.add(Op{Kind: OpWrite, Phase: PhaseBuffer, Block: bl}) }
@@ -223,13 +245,14 @@ func (b *opBuilder) unlock(res LockID) { b.add(Op{Kind: OpUnlock, Phase: PhaseLo
 // indexPath walks a B-tree from the root to the leaf; every touched
 // block is index descent work.
 func (b *opBuilder) indexPath(idx TableID, ord uint64) {
-	for _, bl := range b.g.L.Index(idx).Path(ord) {
+	b.g.path = b.g.L.Index(idx).AppendPath(b.g.path[:0], ord)
+	for _, bl := range b.g.path {
 		b.add(Op{Kind: OpRead, Phase: PhaseBTree, Block: bl})
 	}
 }
 
-// finish distributes the instruction budget over the ops, appends the log
-// write and commit, and installs the op slice on the transaction.
+// finish distributes the instruction budget over the ops and appends the
+// log write and commit.
 func (b *opBuilder) finish() {
 	logBytes := 0
 	if base := logBytesFor[b.txn.Type]; base > 0 {
@@ -237,16 +260,28 @@ func (b *opBuilder) finish() {
 		b.add(Op{Kind: OpLog, Phase: PhaseLogCommit, Bytes: logBytes})
 	}
 	b.add(Op{Kind: OpCommit, Phase: PhaseLogCommit})
-	n := uint64(len(b.ops))
+	ops := b.txn.Ops
+	n := uint64(len(ops))
 	per := b.budget / n
 	rem := b.budget - per*n
-	for i := range b.ops {
-		b.ops[i].Instr = per
+	for i := range ops {
+		ops[i].Instr = per
 	}
-	b.ops[len(b.ops)-1].Instr += rem
-	b.txn.Ops = b.ops
+	ops[len(ops)-1].Instr += rem
 	b.txn.UserIPX = b.budget
 	b.txn.LogBytes = logBytes
+}
+
+// containsBlock reports whether bl is already in the (tiny, <=20 entry)
+// dedup scratch; a linear scan beats a map at this size and allocates
+// nothing.
+func containsBlock(s []BlockID, bl BlockID) bool {
+	for _, v := range s {
+		if v == bl {
+			return true
+		}
+	}
+	return false
 }
 
 // --- transaction bodies ---
@@ -293,14 +328,15 @@ func (g *Generator) newOrder(b *opBuilder, w, d int) {
 	b.write(noHeap.Block(oOrd % noHeap.Rows))
 	olHeap := l.Heap(TableOrderLine)
 	olBase := oOrd * OrderLinesPerOrder
-	seen := map[BlockID]bool{}
+	seen := g.seen[:0]
 	for i := 0; i < nItems; i++ {
 		bl := olHeap.Block((olBase + uint64(i)) % olHeap.Rows)
-		if !seen[bl] {
-			seen[bl] = true
+		if !containsBlock(seen, bl) {
+			seen = append(seen, bl)
 			b.write(bl)
 		}
 	}
+	g.seen = seen
 	b.unlock(dres)
 }
 
@@ -386,14 +422,15 @@ func (g *Generator) stockLevel(b *opBuilder, w, d int) {
 	perDistrict := OrdersPerWarehouse / DistrictsPerWarehouse
 	dOrd := DistrictOrdinal(w, d)
 	base := OrderOrdinal(w, d, g.nextOrderID[dOrd]%perDistrict) * OrderLinesPerOrder
-	seen := map[BlockID]bool{}
+	seen := g.seen[:0]
 	for i := 0; i < 20; i++ {
 		bl := olHeap.Block((base + uint64(i)) % olHeap.Rows)
-		if !seen[bl] {
-			seen[bl] = true
+		if !containsBlock(seen, bl) {
+			seen = append(seen, bl)
 			b.read(bl)
 		}
 	}
+	g.seen = seen
 	for i := 0; i < g.StockLevelScan; i++ {
 		item := int(g.item.Next())
 		sOrd := StockOrdinal(w, item)

@@ -80,6 +80,13 @@ type cpuState struct {
 	idleSince sim.Time
 	idle      bool
 	busy      float64 // busy cycles on this CPU since the last ResetStats
+
+	// At most one chunk is in flight per CPU, so its completion context
+	// lives here instead of in a per-event closure: index identifies the
+	// CPU to the typed engine callbacks, pendingOut carries the outcome
+	// from step to finish.
+	index      int
+	pendingOut Outcome
 }
 
 // Scheduler sequences processes over CPUs.
@@ -90,6 +97,11 @@ type Scheduler struct {
 	sw    SwitchFunc
 	cpus  []cpuState
 	ready []*Proc
+
+	// Method-value callbacks bound once so per-chunk scheduling through
+	// the engine allocates nothing.
+	stepCb   func(any)
+	finishCb func(any)
 
 	stats   Stats
 	resetAt sim.Time
@@ -107,7 +119,10 @@ func New(eng *sim.Engine, cfg Config, run RunFunc, sw SwitchFunc) *Scheduler {
 	s := &Scheduler{eng: eng, cfg: cfg, run: run, sw: sw, cpus: make([]cpuState, cfg.CPUs)}
 	for i := range s.cpus {
 		s.cpus[i].idle = true
+		s.cpus[i].index = i
 	}
+	s.stepCb = s.stepCall
+	s.finishCb = s.finishCall
 	return s
 }
 
@@ -201,7 +216,14 @@ func (s *Scheduler) dispatch(cpu int, except *Proc) {
 		}
 	}
 	c.last = p
-	s.eng.After(switchCost, func() { s.step(cpu, p) })
+	s.eng.AfterCall(switchCost, s.stepCb, c)
+}
+
+// stepCall is the typed-callback entry for a dispatched chunk: the CPU's
+// current process starts its next chunk.
+func (s *Scheduler) stepCall(arg any) {
+	c := arg.(*cpuState)
+	s.step(c.index, c.current)
 }
 
 // step runs one chunk of p on cpu and schedules the follow-up.
@@ -212,40 +234,49 @@ func (s *Scheduler) step(cpu int, p *Proc) {
 	budget := s.cfg.QuantumInstr - p.quantumUsed
 	out := s.run(p, cpu, budget)
 	s.stats.BusyCycles += float64(out.Cycles)
-	s.cpus[cpu].busy += float64(out.Cycles)
+	c := &s.cpus[cpu]
+	c.busy += float64(out.Cycles)
 	p.quantumUsed += out.Instr
-	s.eng.After(out.Cycles, func() {
-		if s.stopped {
-			return
-		}
-		c := &s.cpus[cpu]
-		switch {
-		case out.Block:
-			s.stats.Blocks++
-			s.stats.ContextSwitches++ // the process switches off the CPU
-			c.current = nil
-			if p.pendingWake {
-				p.pendingWake = false
-				p.state = Ready
-				s.ready = append(s.ready, p)
-			} else {
-				p.state = Blocked
-			}
-			s.dispatch(cpu, nil)
-		case p.quantumUsed >= s.cfg.QuantumInstr && len(s.ready) > 0:
-			// Time slice expired with competitors waiting: preempt.
-			s.stats.Preemptions++
+	c.pendingOut = out
+	s.eng.AfterCall(out.Cycles, s.finishCb, c)
+}
+
+// finishCall completes a chunk at its simulated end time: block, preempt
+// or continue, per the outcome stashed on the CPU by step.
+func (s *Scheduler) finishCall(arg any) {
+	if s.stopped {
+		return
+	}
+	c := arg.(*cpuState)
+	cpu := c.index
+	p := c.current
+	out := c.pendingOut
+	switch {
+	case out.Block:
+		s.stats.Blocks++
+		s.stats.ContextSwitches++ // the process switches off the CPU
+		c.current = nil
+		if p.pendingWake {
+			p.pendingWake = false
 			p.state = Ready
-			c.current = nil
 			s.ready = append(s.ready, p)
-			s.dispatch(cpu, p)
-		default:
-			if p.quantumUsed >= s.cfg.QuantumInstr {
-				p.quantumUsed = 0 // fresh slice, nobody waiting
-			}
-			s.step(cpu, p)
+		} else {
+			p.state = Blocked
 		}
-	})
+		s.dispatch(cpu, nil)
+	case p.quantumUsed >= s.cfg.QuantumInstr && len(s.ready) > 0:
+		// Time slice expired with competitors waiting: preempt.
+		s.stats.Preemptions++
+		p.state = Ready
+		c.current = nil
+		s.ready = append(s.ready, p)
+		s.dispatch(cpu, p)
+	default:
+		if p.quantumUsed >= s.cfg.QuantumInstr {
+			p.quantumUsed = 0 // fresh slice, nobody waiting
+		}
+		s.step(cpu, p)
+	}
 }
 
 // IdleCyclesAt returns the idle cycles accumulated across CPUs since

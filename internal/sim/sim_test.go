@@ -140,3 +140,133 @@ func TestEventWhen(t *testing.T) {
 		t.Fatalf("When = %d", ev.When())
 	}
 }
+
+func TestPendingExcludesCanceled(t *testing.T) {
+	e := New()
+	keep := e.At(10, func() {})
+	drop := e.At(20, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	drop.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1 (canceled-but-queued must not count)", e.Pending())
+	}
+	drop.Cancel() // double cancel is a no-op
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after double cancel = %d, want 1", e.Pending())
+	}
+	keep.Cancel()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+	if e.Step() {
+		t.Fatal("Step dispatched a canceled event")
+	}
+}
+
+func TestRunUntilDoesNotCountCanceledHeads(t *testing.T) {
+	e := New()
+	ran := 0
+	for i := 1; i <= 6; i++ {
+		ev := e.At(Time(i*10), func() { ran++ })
+		if i%2 == 1 {
+			ev.Cancel()
+		}
+	}
+	if n := e.RunUntil(100); n != 3 {
+		t.Fatalf("RunUntil counted %d dispatches, want 3 (canceled heads discarded uncounted)", n)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d events, want 3", ran)
+	}
+}
+
+// A handle that survived its event firing must not cancel the new event
+// that recycled the pooled slot.
+func TestStaleHandleCancelIsNoOp(t *testing.T) {
+	e := New()
+	stale := e.At(10, func() {})
+	if !e.Step() {
+		t.Fatal("no event dispatched")
+	}
+	ran := false
+	e.At(20, func() { ran = true }) // reuses the freed slot
+	stale.Cancel()
+	for e.Step() {
+	}
+	if !ran {
+		t.Fatal("stale Cancel killed the slot's new occupant")
+	}
+}
+
+func TestZeroEventCancelIsNoOp(t *testing.T) {
+	var ev Event
+	ev.Cancel() // must not panic
+}
+
+func TestTypedCallbacks(t *testing.T) {
+	e := New()
+	var got []int
+	fn := func(arg any) { got = append(got, arg.(int)) }
+	e.AtCall(20, fn, 2)
+	e.AtCall(10, fn, 1)
+	e.AfterCall(30, fn, 3)
+	ev := e.AtCall(15, fn, 99)
+	ev.Cancel()
+	for e.Step() {
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("typed callback order = %v", got)
+	}
+}
+
+// Steady-state scheduling through the typed-callback path must not
+// allocate: nodes come from the free list and small-int payloads use the
+// runtime's static boxes.
+func TestAfterCallSteadyStateAllocFree(t *testing.T) {
+	e := New()
+	fn := func(any) {}
+	// Warm the pool and the heap backing array.
+	for i := 0; i < 64; i++ {
+		e.AfterCall(Time(i+1), fn, i%8)
+	}
+	for e.Step() {
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			e.AfterCall(Time(i+1), fn, i%8)
+		}
+		for e.Step() {
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state AfterCall allocates %.1f allocs/run, want 0", avg)
+	}
+}
+
+// Cancel must be O(1): it never reheapifies, only marks. This exercises a
+// large queue with heavy cancellation and verifies ordering still holds.
+func TestLazyCancelKeepsOrdering(t *testing.T) {
+	e := New()
+	var got []Time
+	var evs []Event
+	for i := 0; i < 500; i++ {
+		when := Time((i*7919)%1000 + 1)
+		evs = append(evs, e.At(when, func() { got = append(got, e.Now()) }))
+	}
+	for i := 0; i < len(evs); i += 2 {
+		evs[i].Cancel()
+	}
+	if e.Pending() != 250 {
+		t.Fatalf("Pending = %d, want 250", e.Pending())
+	}
+	for e.Step() {
+	}
+	if len(got) != 250 {
+		t.Fatalf("dispatched %d, want 250", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("dispatch order not monotonic under heavy cancellation")
+	}
+}

@@ -98,6 +98,14 @@ type Tuning struct {
 	StockLevelScan    int
 	Synth             workload.Config
 	PrefillSampleTxns int // generator draws used to rank blocks for prefill
+
+	// SnoopLanes controls the coherence domain's deterministic parallel
+	// snoop lanes: 0 enables them automatically at or above
+	// cache.MinParallelCPUs processors, > 0 forces that many lanes on
+	// (tests use this to exercise the parallel path at small P), and < 0
+	// forces the sequential snoop loop. Metrics are bit-identical either
+	// way.
+	SnoopLanes int
 }
 
 // DefaultTuning returns the calibrated defaults.

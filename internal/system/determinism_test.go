@@ -1,0 +1,73 @@
+package system
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// determinismConfig builds a short configuration for bit-identity runs.
+func determinismConfig(w, p int) Config {
+	cfg := DefaultConfig(w, HeuristicClients(w, p), p)
+	cfg.MeasureTxns = 400
+	cfg.WarmupTxns = 150
+	return cfg
+}
+
+// TestRunBitIdenticalAcrossRuns pins seed-stability of the optimized fast
+// paths: the pooled event engine, the alias Zipf sampler, the splitmix64
+// uniform draws, the recycled transaction and buffer-cache structures.
+// Two runs of the same configuration must agree on every metric bit.
+func TestRunBitIdenticalAcrossRuns(t *testing.T) {
+	points := []struct{ w, p int }{
+		{10, 1}, {10, 4},
+		{200, 1}, {200, 4},
+		{1200, 1}, {1200, 4},
+	}
+	if testing.Short() {
+		points = points[:2]
+	}
+	for _, pt := range points {
+		pt := pt
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			cfg := determinismConfig(pt.w, pt.p)
+			a, err := Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatalf("W=%d P=%d first run: %v", pt.w, pt.p, err)
+			}
+			b, err := Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatalf("W=%d P=%d second run: %v", pt.w, pt.p, err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("W=%d P=%d metrics differ across identical runs:\n%+v\n%+v", pt.w, pt.p, a, b)
+			}
+		})
+	}
+}
+
+// TestParallelSnoopBitIdentical pins the deterministic-parallelism
+// contract of the coherence domain's snoop lanes: forcing the parallel
+// fork/join path (at a processor count far below the MinParallelCPUs
+// gate, and with more lanes than CPUs to exercise lane assignment)
+// produces metrics bit-identical to the sequential snoop loop. Run
+// under -race this test also checks the lanes for data races.
+func TestParallelSnoopBitIdentical(t *testing.T) {
+	for _, lanes := range []int{2, 4, 8} {
+		cfg := determinismConfig(40, 4)
+		cfg.Tuning.SnoopLanes = -1
+		seq, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("sequential run: %v", err)
+		}
+		cfg.Tuning.SnoopLanes = lanes
+		par, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("parallel run (%d lanes): %v", lanes, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%d-lane metrics differ from sequential:\n%+v\n%+v", lanes, seq, par)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package system
 
 import (
+	"context"
+
 	"odbscale/internal/perfmon"
 	"odbscale/internal/workload"
 )
@@ -59,43 +61,12 @@ func (m *machine) counterSource() perfmon.Source {
 	}
 }
 
-// RunEMON executes a configuration like Run, but additionally samples the
-// performance counters with the paper's EMON schedule (grouped events,
-// round-robin windows, repeated rotations) during the measurement period.
-// The simulation runs until both the transaction target and the sampling
-// schedule complete. Results are per-event rate observations with their
-// sampling spread — including the noise the paper reports for rare events.
+// RunEMON executes a configuration while sampling the performance
+// counters with the paper's EMON schedule.
+//
+// Deprecated: RunEMON is Run with WithEMON; use Run.
 func RunEMON(cfg Config, emon perfmon.Config) (Metrics, []perfmon.Result, error) {
-	if err := validate(cfg); err != nil {
-		return Metrics{}, nil, err
-	}
-	m := build(cfg)
-	m.prefill()
-	m.start()
-
-	// Arm the sampler when the measurement period begins.
-	var sampler *perfmon.Sampler
-	m.onReset = func() {
-		sampler = perfmon.NewSampler(m.eng, emon, m.counterSource())
-		sampler.Start(nil)
-	}
-
-	capCycles := capSimCycles(cfg)
-	for m.eng.Step() {
-		if m.txns >= uint64(cfg.MeasureTxns) && sampler != nil && sampler.Done() {
-			break
-		}
-		if m.eng.Now() > capCycles {
-			break
-		}
-	}
-	m.sched.Stop()
-
 	var results []perfmon.Result
-	if sampler != nil {
-		for _, e := range perfmon.Events() {
-			results = append(results, sampler.Result(e))
-		}
-	}
-	return m.metrics(), results, nil
+	met, err := Run(context.Background(), cfg, WithEMON(emon, &results))
+	return met, results, err
 }

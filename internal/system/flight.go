@@ -134,32 +134,10 @@ func (m *machine) startFlight() {
 	m.eng.After(interval, tick)
 }
 
-// RunRecorded executes a configuration like RunContext while feeding the
-// flight recorder: per-transaction latency spans, phase marks at the
-// warm-up reset and at run end, and timeline samples every recorder
-// interval of simulated time. A nil recorder degrades to RunContext.
+// RunRecorded executes a configuration while feeding the flight
+// recorder. A nil recorder degrades to a plain run.
+//
+// Deprecated: RunRecorded is Run with WithRecorder; use Run.
 func RunRecorded(ctx context.Context, cfg Config, rec *telemetry.Recorder) (Metrics, error) {
-	if rec == nil {
-		return RunContext(ctx, cfg)
-	}
-	if err := validate(cfg); err != nil {
-		return Metrics{}, err
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := ctx.Err(); err != nil {
-		return Metrics{}, err
-	}
-	rec.SetTarget(uint64(cfg.MeasureTxns))
-	m := build(cfg)
-	m.rec = rec
-	m.prefill()
-	m.start()
-	m.startFlight()
-	if err := m.drive(ctx); err != nil {
-		return Metrics{}, err
-	}
-	rec.MarkPhase(telemetry.PhaseDone, float64(m.eng.Now())/cfg.Machine.FreqHz)
-	return m.metrics(), nil
+	return Run(ctx, cfg, WithRecorder(rec))
 }

@@ -9,63 +9,13 @@ import (
 	"odbscale/internal/workload"
 )
 
-// RunProfiled executes a configuration like RunRecorded while also
-// feeding the cycle-attribution profiler: every measured chunk's cycles
-// and microarchitectural events are apportioned over (transaction type,
-// engine phase, mode) frames as the pricing path retires them. The
-// profiler is observational — it draws no randomness and schedules no
-// events — so metrics are bit-identical with profiling on or off, the
-// same invariant RunRecorded pins for the flight recorder. A nil
-// collector degrades to RunRecorded; nil collector and recorder degrade
-// to RunContext.
+// RunProfiled executes a configuration while feeding the flight recorder
+// and the cycle-attribution profiler. Nil observers are ignored.
+//
+// Deprecated: RunProfiled is Run with WithRecorder and WithProfiler; use
+// Run.
 func RunProfiled(ctx context.Context, cfg Config, rec *telemetry.Recorder, prof *profile.Collector) (Metrics, error) {
-	if rec == nil && prof == nil {
-		return RunContext(ctx, cfg)
-	}
-	if err := validate(cfg); err != nil {
-		return Metrics{}, err
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := ctx.Err(); err != nil {
-		return Metrics{}, err
-	}
-	if rec != nil {
-		rec.SetTarget(uint64(cfg.MeasureTxns))
-	}
-	if prof != nil {
-		prof.SetMeta(profile.Meta{
-			Warehouses: cfg.Warehouses,
-			Clients:    cfg.Clients,
-			Processors: cfg.Processors,
-			Seed:       cfg.Seed,
-			Scale:      cfg.Tuning.Scale,
-			FreqHz:     cfg.Machine.FreqHz,
-			OtherCPI:   cfg.Tuning.OtherCPI,
-			Stall:      cfg.Machine.Stall,
-		})
-	}
-	m := build(cfg)
-	m.rec = rec
-	m.prof = prof
-	m.prefill()
-	m.start()
-	if rec != nil {
-		m.startFlight()
-	}
-	if err := m.drive(ctx); err != nil {
-		return Metrics{}, err
-	}
-	if rec != nil {
-		rec.MarkPhase(telemetry.PhaseDone, float64(m.eng.Now())/cfg.Machine.FreqHz)
-	}
-	met := m.metrics()
-	if prof != nil {
-		prof.SetIdle(m.sched.IdleCyclesAt(m.eng.Now()))
-		prof.Finalize(met.ElapsedSeconds, met.Txns)
-	}
-	return met, nil
+	return Run(ctx, cfg, WithRecorder(rec), WithProfiler(prof))
 }
 
 // addShare appends an instruction share, coalescing runs of the same

@@ -28,6 +28,9 @@ type serverProc struct {
 	carry     []odb.BlockID // blocks installed by I/O since the last chunk
 	dbWriter  bool
 	startAt   sim.Time // when the current transaction was generated (flight recorder)
+
+	wake      func()        // prebound scheduler wakeup, shared by every wait site
+	blocksBuf []odb.BlockID // per-chunk visited-block scratch, reused across chunks
 }
 
 // machine is one fully assembled simulation instance.
@@ -49,7 +52,8 @@ type machine struct {
 	smt         int
 
 	ctr     counters
-	onReset func() // armed by RunEMON at measurement start
+	onReset   func()      // observer hooks armed at measurement start
+	extraDone func() bool // extra completion condition (EMON's schedule)
 
 	// Flight recorder (nil unless RunRecorded). flUserInstr/flOSInstr are
 	// free-running per-mode instruction counters — unlike user/os they are
@@ -80,6 +84,11 @@ type machine struct {
 	// inflight tracks blocks with an outstanding disk read; later missers
 	// join the waiter list instead of issuing a duplicate read.
 	inflight map[odb.BlockID][]ioWaiter
+	// waiterPool recycles the per-block waiter slices that inflight
+	// entries use, and dbwScratch is the DB writer's reusable batch
+	// buffer; both keep the steady-state I/O path allocation-free.
+	waiterPool [][]ioWaiter
+	dbwScratch []odb.BlockID
 }
 
 type ioWaiter struct {
@@ -116,34 +125,11 @@ func capSimCycles(cfg Config) sim.Time {
 	return sim.Time(300 * cfg.Machine.FreqHz)
 }
 
-// Run executes one configuration and returns its metrics.
-func Run(cfg Config) (Metrics, error) {
-	return RunContext(context.Background(), cfg)
-}
-
-// RunContext executes one configuration like Run, honouring the
-// context: when ctx is cancelled mid-simulation the drive loop stops
-// and the context's error is returned instead of metrics. A nil ctx is
-// treated as context.Background().
+// RunContext executes one configuration, honouring the context.
+//
+// Deprecated: RunContext is Run(ctx, cfg); use Run.
 func RunContext(ctx context.Context, cfg Config) (Metrics, error) {
-	if err := validate(cfg); err != nil {
-		return Metrics{}, err
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	// Machine construction and prefill are expensive at large warehouse
-	// counts; a context that is already dead skips them entirely.
-	if err := ctx.Err(); err != nil {
-		return Metrics{}, err
-	}
-	m := build(cfg)
-	m.prefill()
-	m.start()
-	if err := m.drive(ctx); err != nil {
-		return Metrics{}, err
-	}
-	return m.metrics(), nil
+	return Run(ctx, cfg)
 }
 
 func build(cfg Config) *machine {
@@ -170,6 +156,12 @@ func build(cfg Config) *machine {
 	fsb := bus.New(cfg.Machine.Bus, float64(t.Scale))
 	geo := workload.ScaledGeometry(cfg.Machine.Geometry, t.Scale)
 	domain := cache.NewDomain(geo, cfg.Processors, cfg.Coherent)
+	switch {
+	case t.SnoopLanes > 0:
+		domain.EnableParallelLanes(t.SnoopLanes)
+	case t.SnoopLanes == 0 && cfg.Processors >= cache.MinParallelCPUs:
+		domain.EnableParallelLanes(0)
+	}
 	synthCfg := t.Synth
 	synthCfg.Scale = t.Scale
 	synthCfg.HotSetBytes = t.HotBytesPerWhs * cfg.Warehouses
@@ -267,6 +259,7 @@ func (m *machine) prefill() {
 				freq[op.Block]++
 			}
 		}
+		sample.Recycle(txn)
 	}
 	type bf struct {
 		b odb.BlockID
@@ -304,13 +297,20 @@ func (m *machine) prefill() {
 	m.bc.ResetStats()
 }
 
-// start admits the server processes and the DB writer.
+// start admits the server processes and the DB writer. Every process gets
+// one prebound wakeup closure reused by all of its wait sites, so
+// blocking and unblocking never allocate.
 func (m *machine) start() {
-	for i := 0; i < m.cfg.Clients; i++ {
-		m.sched.Admit(&osker.Proc{ID: i, Data: &serverProc{}})
+	admit := func(id int, sp *serverProc) *osker.Proc {
+		p := &osker.Proc{ID: id, Data: sp}
+		sp.wake = func() { m.sched.Wake(p) }
+		m.sched.Admit(p)
+		return p
 	}
-	dbw := &osker.Proc{ID: m.cfg.Clients, Data: &serverProc{dbWriter: true}}
-	m.sched.Admit(dbw)
+	for i := 0; i < m.cfg.Clients; i++ {
+		admit(i, &serverProc{})
+	}
+	dbw := admit(m.cfg.Clients, &serverProc{dbWriter: true})
 	interval := sim.Time(m.cfg.Tuning.DBWriterIntervalMS * m.cyclesPerMS)
 	var tick func()
 	tick = func() {
@@ -335,7 +335,7 @@ func (m *machine) drive(ctx context.Context) error {
 	done := ctx.Done()
 	steps := 0
 	for m.eng.Step() {
-		if m.txns >= uint64(m.cfg.MeasureTxns) {
+		if m.txns >= uint64(m.cfg.MeasureTxns) && (m.extraDone == nil || m.extraDone()) {
 			break
 		}
 		if m.eng.Now() > capCycles {
@@ -390,8 +390,10 @@ func (m *machine) runChunk(p *osker.Proc, cpuID int, budget uint64) osker.Outcom
 	var userInstr uint64
 	osInstr := sp.pendingOS
 	sp.pendingOS = 0
-	blocks := sp.carry
-	sp.carry = nil
+	// Visit list for pricing: the carried I/O installs plus every block
+	// touched this chunk, built in the proc's reusable scratch buffer.
+	blocks := append(sp.blocksBuf[:0], sp.carry...)
+	sp.carry = sp.carry[:0]
 	blocked := false
 	if m.prof != nil {
 		// Deferred I/O-completion and writer-assist work charged to this
@@ -439,8 +441,7 @@ loop:
 					}
 					sp.opIdx++
 					wait := sim.Time(m.rng.Exp(t.BusyWaitMS) * m.cyclesPerMS)
-					proc := p
-					m.eng.After(wait, func() { m.sched.Wake(proc) })
+					m.eng.After(wait, sp.wake)
 					blocked = true
 					break loop
 				}
@@ -449,6 +450,12 @@ loop:
 				sp.opIdx++
 				block := op.Block
 				waiters, pending := m.inflight[block]
+				if !pending {
+					if n := len(m.waiterPool); n > 0 {
+						waiters = m.waiterPool[n-1]
+						m.waiterPool = m.waiterPool[:n-1]
+					}
+				}
 				m.inflight[block] = append(waiters, ioWaiter{proc: p, sp: sp, write: write})
 				if !pending {
 					osInstr += t.IOIssueInstr
@@ -466,8 +473,7 @@ loop:
 				break loop
 			}
 		case odb.OpLock:
-			proc := p
-			if !m.lm.Acquire(op.Res, p.ID, func() { m.sched.Wake(proc) }) {
+			if !m.lm.Acquire(op.Res, p.ID, sp.wake) {
 				sp.opIdx++
 				osInstr += 2000 // semaphore sleep path
 				if m.prof != nil {
@@ -497,6 +503,7 @@ loop:
 				m.rec.ObserveSpan(sp.txn.Type.String(), uint64(us))
 			}
 			m.commit()
+			m.gen.Recycle(sp.txn)
 			sp.txn = nil
 			sp.opIdx = 0
 			continue loop // opIdx already reset; skip the increment
@@ -505,6 +512,7 @@ loop:
 	}
 
 	cycles := m.price(cpuID, p.ID, userInstr, osInstr, blocks)
+	sp.blocksBuf = blocks[:0] // price consumed the list synchronously
 	return osker.Outcome{Cycles: cycles, Instr: userInstr + osInstr, Block: blocked}
 }
 
@@ -520,7 +528,7 @@ func (m *machine) readDone(block odb.BlockID) {
 		}
 	}
 	m.bc.Release(e)
-	if ev != nil && ev.Dirty {
+	if ev.Valid && ev.Dirty {
 		m.disks.Write(uint64(ev.ID))
 		m.evictWrite()
 		if len(waiters) > 0 {
@@ -533,6 +541,9 @@ func (m *machine) readDone(block odb.BlockID) {
 		w.sp.carry = append(w.sp.carry, block)
 		m.sched.Wake(w.proc)
 	}
+	if cap(waiters) > 0 {
+		m.waiterPool = append(m.waiterPool, waiters[:0])
+	}
 }
 
 // runDBWriter executes one DB-writer activation: write back a batch of
@@ -543,12 +554,12 @@ func (m *machine) runDBWriter(p *osker.Proc, cpuID int) osker.Outcome {
 	var blocks []odb.BlockID
 	dirtyTrigger := int(t.DirtyHighWater * float64(m.bc.Capacity()))
 	if m.bc.DirtyCount() > dirtyTrigger {
-		ids := m.bc.CleanAged(t.DBWriterBatch, t.DBWriterAgeGets)
-		for _, id := range ids {
+		blocks = m.bc.CleanAgedInto(m.dbwScratch[:0], t.DBWriterBatch, t.DBWriterAgeGets)
+		m.dbwScratch = blocks
+		for _, id := range blocks {
 			m.disks.Write(uint64(id))
-			blocks = append(blocks, id)
 		}
-		osInstr += uint64(len(ids)) * t.DBWriterInstr
+		osInstr += uint64(len(blocks)) * t.DBWriterInstr
 	}
 	if m.prof != nil {
 		m.osShares = addShare(m.osShares, profile.KindDBWriter, odb.PhaseSyscall, osInstr)

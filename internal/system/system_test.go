@@ -18,7 +18,7 @@ func fastConfig(w, c, p int) Config {
 
 func run(t *testing.T, cfg Config) Metrics {
 	t.Helper()
-	m, err := Run(cfg)
+	m, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,12 +29,12 @@ func run(t *testing.T, cfg Config) Metrics {
 }
 
 func TestBadConfigRejected(t *testing.T) {
-	if _, err := Run(Config{}); !errors.Is(err, ErrBadConfig) {
+	if _, err := Run(context.Background(), Config{}); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("zero config: err = %v, want ErrBadConfig", err)
 	}
 	cfg := fastConfig(10, 8, 4)
 	cfg.MeasureTxns = 0
-	if _, err := Run(cfg); !errors.Is(err, ErrNoTxns) {
+	if _, err := Run(context.Background(), cfg); !errors.Is(err, ErrNoTxns) {
 		t.Fatalf("zero MeasureTxns: err = %v, want ErrNoTxns", err)
 	}
 	if errors.Is(ErrBadConfig, ErrNoTxns) {

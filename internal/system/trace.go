@@ -3,43 +3,14 @@ package system
 import (
 	"context"
 	"io"
-
-	"odbscale/internal/cache"
-	"odbscale/internal/trace"
 )
 
-// RunTraced executes a configuration like Run while capturing every
-// simulated memory reference of the measurement period to w in the trace
-// format. The returned metrics are the usual ones; the trace can then be
-// replayed offline against alternative cache geometries (see package
-// trace and cmd/odbtrace).
+// RunTraced executes a configuration while capturing every simulated
+// memory reference of the measurement period to w in the trace format.
+//
+// Deprecated: RunTraced is Run with WithTrace; use Run.
 func RunTraced(cfg Config, w io.Writer) (Metrics, uint64, error) {
-	if err := validate(cfg); err != nil {
-		return Metrics{}, 0, err
-	}
-	tw, err := trace.NewWriter(w)
-	if err != nil {
-		return Metrics{}, 0, err
-	}
-	m := build(cfg)
-	var tapErr error
-	m.onReset = func() {
-		m.synth.SetTap(func(cpu int, addr cache.Addr, kind cache.Kind) {
-			if tapErr == nil {
-				tapErr = tw.Write(trace.Record{CPU: uint8(cpu), Kind: kind, Addr: uint64(addr)})
-			}
-		})
-	}
-	m.prefill()
-	m.start()
-	if err := m.drive(context.Background()); err != nil {
-		return Metrics{}, 0, err
-	}
-	if tapErr != nil {
-		return Metrics{}, 0, tapErr
-	}
-	if err := tw.Flush(); err != nil {
-		return Metrics{}, 0, err
-	}
-	return m.metrics(), tw.Count(), nil
+	var count uint64
+	met, err := Run(context.Background(), cfg, WithTrace(w, &count))
+	return met, count, err
 }

@@ -144,7 +144,7 @@ func captureTrace(t *testing.T, n int) []byte {
 }
 
 func TestReplayAgainstGeometries(t *testing.T) {
-	data := captureTrace(t, 200)
+	data := captureTrace(t, 600)
 
 	replay := func(l3 int) ReplayStats {
 		g := workload.ScaledGeometry(cache.XeonGeometry(1), 64)

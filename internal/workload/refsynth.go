@@ -182,7 +182,24 @@ type Synth struct {
 	blockLines  uint64
 	structLines uint64 // scaled size of the structural hot set
 	structZ     *xrand.Zipf
+
+	// Hoisted per-reference constants: the scaled region strides the data
+	// reference helpers would otherwise recompute for every reference.
+	kernelStride uint64
+	kernelShared uint64
+	pgaRegion    uint64
 }
+
+// branchBiasTab caches branchBias over the 512 branch sites the branch
+// Zipf draws from, so the per-branch loop does one table read instead of
+// a hash and switch.
+var branchBiasTab = func() [512]float64 {
+	var t [512]float64
+	for i := range t {
+		t[i] = branchBias(uint64(i))
+	}
+	return t
+}()
 
 // New builds a synthesizer over the given (already scaled) cache domain
 // and bus. One TLB and branch predictor is created per CPU.
@@ -218,6 +235,9 @@ func New(cfg Config, domain *cache.Domain, fsb *bus.Bus, rng *xrand.Rand) *Synth
 	}
 	s.structLines = s.scaledLines(cfg.HotSetBytes)
 	s.structZ = xrand.NewZipf(rng.Split(7), 1.0, s.structLines)
+	s.kernelStride = s.scaledLines(cfg.KernelBytes)
+	s.kernelShared = uint64(len(s.tlbs)) * s.kernelStride
+	s.pgaRegion = s.scaledLines(cfg.PGABytes)
 	return s
 }
 
@@ -254,9 +274,10 @@ func (s *Synth) Run(spec ChunkSpec) Events {
 	if spec.OS {
 		codeBase, codeZ = baseOSCode, s.osCodeZ
 	}
+	phys := s.cpuMap(spec.CPU)
+	tlb := s.tlbs[spec.CPU]
 	for i := uint64(0); i < ev.FetchRefs; i++ {
 		addr := cache.Addr(codeBase + codeZ.Next()*64)
-		phys := s.cpuMap(spec.CPU)
 		if s.tap != nil {
 			s.tap(phys, addr, cache.Fetch)
 		}
@@ -274,10 +295,9 @@ func (s *Synth) Run(spec ChunkSpec) Events {
 		if store {
 			kind = cache.Store
 		}
-		if !s.tlbs[spec.CPU].Access(uint64(addr)) {
+		if !tlb.Access(uint64(addr)) {
 			ev.TLBMiss++
 		}
-		phys := s.cpuMap(spec.CPU)
 		if s.tap != nil {
 			s.tap(phys, addr, kind)
 		}
@@ -308,11 +328,12 @@ func (s *Synth) Run(spec ChunkSpec) Events {
 		}
 	}
 
-	// Branches.
+	// Branches. The bias table is in (0, 1) for every site, so the direct
+	// Float64 compare consumes the stream exactly as Bernoulli would.
 	bp := s.bps[spec.CPU]
 	for i := uint64(0); i < ev.Branches; i++ {
 		site := s.branchZ.Next()
-		taken := s.rng.Bernoulli(branchBias(site))
+		taken := s.rng.Float64() < branchBiasTab[site]
 		if !bp.Record(site, taken) {
 			ev.Mispred++
 		}
@@ -347,12 +368,10 @@ func (s *Synth) dataRef(spec ChunkSpec) (cache.Addr, bool) {
 		// (global lists, the page cache radix tree) is shared read-mostly.
 		switch {
 		case r < 0.52:
-			stride := s.scaledLines(s.cfg.KernelBytes)
-			line := uint64(spec.CPU)*stride + s.kernelZ.Next()
+			line := uint64(spec.CPU)*s.kernelStride + s.kernelZ.Next()
 			return cache.Addr(baseKernel + line*64), s.rng.Bernoulli(0.40)
 		case r < 0.70:
-			shared := uint64(len(s.tlbs)) * s.scaledLines(s.cfg.KernelBytes)
-			return cache.Addr(baseKernel + (shared+s.kernelZ.Next())*64), s.rng.Bernoulli(0.04)
+			return cache.Addr(baseKernel + (s.kernelShared+s.kernelZ.Next())*64), s.rng.Bernoulli(0.04)
 		case r < 0.94:
 			return cache.Addr(baseMeta + s.metaZ.Next()*64), s.rng.Bernoulli(s.cfg.MetaStoreFrac)
 		default:
@@ -378,8 +397,7 @@ func (s *Synth) structRef() cache.Addr {
 }
 
 func (s *Synth) pgaRef(proc int) cache.Addr {
-	region := s.scaledLines(s.cfg.PGABytes)
-	return cache.Addr(basePGA + (uint64(proc)*region+s.pgaZ.Next())*64)
+	return cache.Addr(basePGA + (uint64(proc)*s.pgaRegion+s.pgaZ.Next())*64)
 }
 
 // record folds one access result into the chunk's events and drives the

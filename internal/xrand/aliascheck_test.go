@@ -1,0 +1,50 @@
+package xrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAliasMatchesRejectionPMF(t *testing.T) {
+	for _, tc := range []struct {
+		theta float64
+		n     uint64
+	}{{1.6, 1000}, {1.05, 512}, {1.0, 200}, {1.45, 100000}, {0.6, 4096}} {
+		s := tc.theta
+		if s <= 1 {
+			s = 1.0001
+		}
+		v := 1.0
+		if tc.theta < 1 {
+			v = 1 + (1-tc.theta)*float64(tc.n)/4
+		}
+		old := rand.NewZipf(rand.New(rand.NewSource(1)), s, v, tc.n-1)
+		nz := NewZipf(New(2), tc.theta, tc.n)
+		const draws = 1_000_000
+		const buckets = 10
+		var ho, hn [buckets]int
+		bucket := func(k uint64) int {
+			b := 0
+			lim := uint64(1)
+			for k >= lim && b < buckets-1 {
+				b++
+				lim *= 3
+			}
+			return b
+		}
+		for i := 0; i < draws; i++ {
+			ho[bucket(old.Uint64())]++
+			hn[bucket(nz.Next())]++
+		}
+		for b := 0; b < buckets; b++ {
+			po := float64(ho[b]) / draws
+			pn := float64(hn[b]) / draws
+			if po < 0.005 && pn < 0.005 {
+				continue
+			}
+			if diff := pn - po; diff > 0.01 || diff < -0.01 {
+				t.Errorf("theta=%.2f n=%d bucket %d: old=%.5f new=%.5f", tc.theta, tc.n, b, po, pn)
+			}
+		}
+	}
+}

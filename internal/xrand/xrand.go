@@ -10,17 +10,59 @@ package xrand
 
 import (
 	"math"
+	"math/bits"
 	"math/rand"
 )
 
-// Rand wraps math/rand with the simulator's distributions.
+// Rand wraps math/rand with the simulator's distributions. The hot
+// uniform draws (Uint64, Int63, Float64, Intn) are shadowed with a
+// splitmix64 counter generator: one add and three multiply-xor rounds per
+// draw, with no interface indirection. The embedded math/rand generator
+// still serves the cold ziggurat distributions (ExpFloat64, NormFloat64)
+// and Perm as an independent stream derived from the same seed.
 type Rand struct {
 	*rand.Rand
+	state uint64 // splitmix64 counter for the fast paths
+}
+
+// splitmix64 is the output stage of the splitmix64 generator.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // New returns a deterministic generator for the given seed.
 func New(seed int64) *Rand {
-	return &Rand{rand.New(rand.NewSource(seed))}
+	return &Rand{
+		Rand:  rand.New(rand.NewSource(seed)),
+		state: splitmix64(uint64(seed) + 0x9e3779b97f4a7c15),
+	}
+}
+
+// Uint64 returns a uniform 64-bit draw (fast path).
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return splitmix64(r.state)
+}
+
+// Int63 returns a uniform draw in [0, 2^63) (fast path).
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a uniform draw in [0, 1) (fast path).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform draw in [0, n); it panics if n <= 0. The bound
+// is applied with the fixed-point multiply method; its bias (< n/2^64) is
+// far below anything a simulation can resolve.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	hi, _ := bits.Mul64(r.Uint64(), uint64(n))
+	return int(hi)
 }
 
 // Split derives an independent child generator identified by id. Children
@@ -29,10 +71,7 @@ func New(seed int64) *Rand {
 func (r *Rand) Split(id uint64) *Rand {
 	// Mix the id through splitmix64 so that small consecutive ids land far
 	// apart in seed space.
-	z := id + 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
+	z := splitmix64(id + 0x9e3779b97f4a7c15)
 	return New(r.Int63() ^ int64(z))
 }
 
@@ -59,37 +98,104 @@ func (r *Rand) NURand(a, x, y, c int) int {
 }
 
 // Zipf draws from {0, 1, ..., n-1} with P(k) proportional to
-// 1/(k+1)^theta. It wraps math/rand's Zipf with the parameterization used
-// in cache-behaviour studies (theta just below 1 models database block
-// popularity well).
+// 1/(v+k)^s, the parameterization used in cache-behaviour studies (theta
+// just below 1 models database block popularity well).
+//
+// The sampler is an alias table (Vose's method): construction is O(n) and
+// each draw costs exactly one Uint64 from the underlying stream plus two
+// array reads — no rejection loop, no Exp/Log calls. The reference
+// synthesizer draws from these tables for every memory reference, so this
+// is the single hottest function in a simulation.
 type Zipf struct {
-	z *rand.Zipf
+	r      *Rand
+	prob   []float64 // scaled acceptance probability per slot
+	alias  []uint32  // fallback item per slot
+	n      uint64
+	single bool // n == 1: every draw is 0, no stream consumption skew
 }
 
 // NewZipf builds a Zipf source over n items with skew theta in (0, ~4).
-// math/rand requires s > 1, so theta is mapped accordingly: theta is the
-// exponent on rank, with theta -> 0 approaching uniform.
+// The pmf matches math/rand's Zipf parameterization: s > 1 is required
+// there, so theta <= 1 maps to s = 1.0001 with a larger v flattening the
+// head to emulate sub-1 skew levels acceptably for cache modelling.
 func NewZipf(r *Rand, theta float64, n uint64) *Zipf {
 	if n == 0 {
 		panic("xrand: Zipf over zero items")
 	}
+	if n > math.MaxUint32 {
+		panic("xrand: Zipf table too large")
+	}
 	s := theta
 	if s <= 1 {
-		// math/rand's Zipf needs s > 1; interpolate smaller skews by
-		// flattening through a larger v parameter instead.
 		s = 1.0001
 	}
 	v := 1.0
 	if theta < 1 {
-		// Larger v flattens the head of the distribution, emulating
-		// theta < 1 skew levels acceptably for cache modelling.
 		v = 1 + (1-theta)*float64(n)/4
 	}
-	return &Zipf{z: rand.NewZipf(r.Rand, s, v, n-1)}
+	z := &Zipf{r: r, n: n, single: n == 1}
+	if z.single {
+		return z
+	}
+	// Vose's alias method over w[k] = (v+k)^-s.
+	w := make([]float64, n)
+	total := 0.0
+	for k := range w {
+		w[k] = math.Pow(v+float64(k), -s)
+		total += w[k]
+	}
+	scale := float64(n) / total
+	z.prob = make([]float64, n)
+	z.alias = make([]uint32, n)
+	// Partition slots into under- and over-full; process deterministically
+	// in index order so the table (and thus the stream mapping) is stable.
+	small := make([]uint32, 0, n)
+	large := make([]uint32, 0, n)
+	for k := uint64(0); k < n; k++ {
+		w[k] *= scale
+		if w[k] < 1 {
+			small = append(small, uint32(k))
+		} else {
+			large = append(large, uint32(k))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s0 := small[len(small)-1]
+		small = small[:len(small)-1]
+		l0 := large[len(large)-1]
+		z.prob[s0] = w[s0]
+		z.alias[s0] = l0
+		w[l0] -= 1 - w[s0]
+		if w[l0] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l0)
+		}
+	}
+	for _, k := range large {
+		z.prob[k] = 1
+	}
+	for _, k := range small {
+		// Numerical leftovers: slot keeps itself.
+		z.prob[k] = 1
+	}
+	return z
 }
 
-// Next returns the next draw.
-func (z *Zipf) Next() uint64 { return z.z.Uint64() }
+// Next returns the next draw. One 64-bit draw provides both the slot index
+// (via the high half of the 128-bit product u*n) and an independent
+// uniform fraction (the low half) for the accept/alias test.
+func (z *Zipf) Next() uint64 {
+	if z.single {
+		return 0
+	}
+	u := z.r.Uint64()
+	hi, lo := bits.Mul64(u, z.n)
+	frac := float64(lo>>11) * (1.0 / (1 << 53))
+	if frac < z.prob[hi] {
+		return hi
+	}
+	return uint64(z.alias[hi])
+}
 
 // Bernoulli returns true with probability p.
 func (r *Rand) Bernoulli(p float64) bool {

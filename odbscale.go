@@ -40,8 +40,10 @@ import (
 	"odbscale/internal/experiment"
 	"odbscale/internal/odb"
 	"odbscale/internal/perfmon"
+	"odbscale/internal/profile"
 	"odbscale/internal/stats"
 	"odbscale/internal/system"
+	"odbscale/internal/telemetry"
 	"odbscale/internal/xrand"
 )
 
@@ -60,15 +62,63 @@ type (
 	Metrics = system.Metrics
 )
 
-// Run executes one configuration through warm-up and measurement.
-func Run(cfg Config) (Metrics, error) { return system.Run(cfg) }
+// Option attaches an optional observer (trace capture, flight recorder,
+// EMON sampler, cycle profiler) to a Run.
+type Option = system.Option
 
-// RunContext executes one configuration like Run, honouring the
-// context: cancellation stops the simulation's drive loop and returns
-// the context's error.
-func RunContext(ctx context.Context, cfg Config) (Metrics, error) {
-	return system.RunContext(ctx, cfg)
+// Run executes one configuration through warm-up and measurement. It is
+// the single run entry point: cancellation of ctx stops the simulation's
+// drive loop and returns the context's error (nil ctx means Background),
+// and options attach observers:
+//
+//	m, err := odbscale.Run(ctx, cfg, odbscale.WithRecorder(rec))
+func Run(ctx context.Context, cfg Config, opts ...Option) (Metrics, error) {
+	return system.Run(ctx, cfg, opts...)
 }
+
+// WithTrace captures every measured memory reference to w in the trace
+// format; a non-nil count receives the record total.
+func WithTrace(w io.Writer, count *uint64) Option { return system.WithTrace(w, count) }
+
+// WithRecorder feeds the flight recorder during the run.
+func WithRecorder(rec *Recorder) Option { return system.WithRecorder(rec) }
+
+// WithEMON samples the performance counters with the EMON schedule; a
+// non-nil results receives the per-event observations.
+func WithEMON(cfg EMONConfig, results *[]EMONResult) Option {
+	return system.WithEMON(cfg, results)
+}
+
+// WithProfiler feeds the cycle-attribution profiler during the run.
+func WithProfiler(prof *ProfileCollector) Option { return system.WithProfiler(prof) }
+
+// RunContext executes one configuration, honouring the context.
+//
+// Deprecated: RunContext is Run(ctx, cfg); use Run.
+func RunContext(ctx context.Context, cfg Config) (Metrics, error) {
+	return system.Run(ctx, cfg)
+}
+
+// Run observers.
+type (
+	// Recorder is the flight recorder: latency histograms, timeline
+	// samples and phase marks collected during a run.
+	Recorder = telemetry.Recorder
+	// RecorderConfig parameterizes the flight recorder.
+	RecorderConfig = telemetry.Config
+	// ProfileCollector accumulates the cycle-attribution profile of a
+	// run.
+	ProfileCollector = profile.Collector
+	// Profile is a finalized cycle-attribution profile.
+	Profile = profile.Profile
+)
+
+// NewRecorder builds a flight recorder for WithRecorder.
+func NewRecorder(cfg RecorderConfig) *Recorder { return telemetry.NewRecorder(cfg) }
+
+// NewProfileCollector builds a collector for WithProfiler; read the
+// profile with its Profile method after the run.
+func NewProfileCollector() *ProfileCollector { return profile.NewCollector() }
 
 // Sentinel configuration errors, matched with errors.Is.
 var (
@@ -253,8 +303,12 @@ func DefaultEMONConfig(cyclesPerSecond float64) EMONConfig {
 // RunEMON executes a configuration while sampling its performance
 // counters with the EMON schedule, returning both the exact metrics and
 // the sampled observations (with their sampling error).
+//
+// Deprecated: RunEMON is Run with WithEMON; use Run.
 func RunEMON(cfg Config, emon EMONConfig) (Metrics, []EMONResult, error) {
-	return system.RunEMON(cfg, emon)
+	var results []EMONResult
+	m, err := system.Run(context.Background(), cfg, system.WithEMON(emon, &results))
+	return m, results, err
 }
 
 // EMONEvents returns the Table 2 events in order.

@@ -17,7 +17,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	cfg := odbscale.DefaultConfig(40, 12, 2)
 	cfg.WarmupTxns = 200
 	cfg.MeasureTxns = 500
-	m, err := odbscale.Run(cfg)
+	m, err := odbscale.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,13 +75,13 @@ func TestPublicCampaign(t *testing.T) {
 }
 
 func TestPublicSentinelErrors(t *testing.T) {
-	_, err := odbscale.Run(odbscale.Config{})
+	_, err := odbscale.Run(context.Background(), odbscale.Config{})
 	if !errors.Is(err, odbscale.ErrBadConfig) {
 		t.Fatalf("err = %v, want ErrBadConfig", err)
 	}
 	cfg := odbscale.DefaultConfig(10, 8, 1)
 	cfg.MeasureTxns = 0
-	if _, err := odbscale.Run(cfg); !errors.Is(err, odbscale.ErrNoTxns) {
+	if _, err := odbscale.Run(context.Background(), cfg); !errors.Is(err, odbscale.ErrNoTxns) {
 		t.Fatalf("err = %v, want ErrNoTxns", err)
 	}
 }
