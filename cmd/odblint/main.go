@@ -1,14 +1,25 @@
-// Command odblint runs the repository's static-analysis suite: five
-// stdlib-only analyzers enforcing the determinism, cancellation, and
-// numeric-safety invariants the paper reproduction rests on. See
-// internal/lint for the rules and the suppression policy.
+// Command odblint runs the repository's static-analysis suite: nine
+// stdlib-only analyzers enforcing the determinism, cancellation,
+// numeric-safety and allocation-discipline invariants the paper
+// reproduction rests on. Six rules are intra-procedural; three —
+// taintdet (transitive determinism taint), hotalloc (per-event
+// allocation discipline) and laneshare (lane-worker ownership) — run
+// over a module-wide call graph. See internal/lint for the rules and
+// the suppression policy.
 //
 // Usage:
 //
-//	go run ./cmd/odblint ./...
+//	go run ./cmd/odblint [flags] ./...
 //
-// Exit status is 0 when the tree is clean, 1 when any rule fires, and
-// 2 on usage or load errors.
+//	-list             list the rules and exit
+//	-json             emit findings as a JSON array
+//	-sarif file       also write SARIF 2.1.0 ("-" for stdout)
+//	-baseline file    subtract the committed waiver ledger
+//	-update-baseline  rewrite the -baseline ledger and exit 0
+//
+// Exit status is 0 when the tree is clean (or every finding is covered
+// by the baseline ledger), 1 when any new finding fires, and 2 on
+// usage or load errors.
 package main
 
 import (

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The waiver ledger: a committed lint-baseline.json records the
+// findings a repository has accepted, so CI fails (and annotates) only
+// on *new* findings. Entries are keyed by (file, rule, message) with a
+// count — line numbers are deliberately excluded so unrelated edits
+// that shift code do not invalidate the ledger. A finding is new when
+// its key's occurrence count exceeds the baselined count; the excess
+// findings (highest line numbers first within the key) are reported.
+//
+// The ledger is regenerated with `odblint -update-baseline`; shrinking
+// it (fixing waived findings) is always safe, growing it is a reviewed
+// change like any other.
+
+// BaselineEntry is one accepted finding class.
+type BaselineEntry struct {
+	File  string `json:"file"`
+	Rule  string `json:"rule"`
+	Msg   string `json:"msg"`
+	Count int    `json:"count"`
+}
+
+// Baseline is the committed waiver ledger.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+type baselineKey struct {
+	file, rule, msg string
+}
+
+// LoadBaseline reads a ledger file. A missing file is not an error: it
+// loads as an empty ledger, so a repository adopts the workflow simply
+// by running -update-baseline once.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s has unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// NewBaseline aggregates findings into a ledger.
+func NewBaseline(findings []Finding) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, f := range findings {
+		counts[baselineKey{f.File, f.Rule, f.Msg}]++
+	}
+	b := &Baseline{Version: 1, Findings: make([]BaselineEntry, 0, len(counts))}
+	for k, n := range counts {
+		b.Findings = append(b.Findings, BaselineEntry{File: k.file, Rule: k.rule, Msg: k.msg, Count: n})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Msg < c.Msg
+	})
+	return b
+}
+
+// Save writes the ledger.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter returns the findings not covered by the ledger: for each
+// (file, rule, msg) key, the first `count` findings in sorted order
+// are suppressed and any excess is kept.
+func (b *Baseline) Filter(findings []Finding) []Finding {
+	budget := make(map[baselineKey]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[baselineKey{e.File, e.Rule, e.Msg}] += e.Count
+	}
+	var kept []Finding
+	for _, f := range findings {
+		k := baselineKey{f.File, f.Rule, f.Msg}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}

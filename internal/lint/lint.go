@@ -31,12 +31,15 @@ import (
 	"strings"
 )
 
-// A Finding is one rule violation at a source position.
+// A Finding is one rule violation at a source position. Col is the
+// 1-based column; it participates in the deterministic sort order and
+// in machine-readable output but not in the one-line text format.
 type Finding struct {
-	File string
-	Line int
-	Rule string
-	Msg  string
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col,omitempty"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
 }
 
 // String renders the finding in the driver's one-line format.
@@ -52,9 +55,14 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// All returns the full rule set in reporting order.
+// All returns the full rule set in reporting order: the six
+// intra-procedural rules plus the three interprocedural analyzers
+// built on the call-graph layer (see callgraph.go).
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, SentinelErr, FloatEq, CtxLoop, HotWaiver}
+	return []*Analyzer{
+		Determinism, MapOrder, SentinelErr, FloatEq, CtxLoop, HotWaiver,
+		TaintDet, HotAlloc, LaneShare,
+	}
 }
 
 // A Pass hands one type-checked unit to an analyzer and collects its
@@ -64,10 +72,15 @@ type Pass struct {
 	Fset     *token.FileSet
 	// Path is the unit's import path; scoped rules (determinism) key
 	// off it.
-	Path     string
-	Files    []*ast.File
-	Pkg      *types.Package
-	Info     *types.Info
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Prog is the module-wide call graph and dataflow layer. It is nil
+	// when the unit was loaded standalone (CheckDir) or when no
+	// analyzed package needs interprocedural facts; analyzers that
+	// require it must no-op on nil.
+	Prog     *Program
 	findings *[]Finding
 }
 
@@ -77,6 +90,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
 		File: position.Filename,
 		Line: position.Line,
+		Col:  position.Column,
 		Rule: p.Analyzer.Name,
 		Msg:  fmt.Sprintf(format, args...),
 	})
@@ -99,7 +113,7 @@ type unit struct {
 
 // runUnit applies the analyzers to a unit and filters the result
 // through the unit's //lint:ignore directives.
-func runUnit(u *unit, analyzers []*Analyzer) []Finding {
+func runUnit(u *unit, analyzers []*Analyzer, prog *Program) []Finding {
 	var fs []Finding
 	for _, a := range analyzers {
 		a.Run(&Pass{
@@ -109,6 +123,7 @@ func runUnit(u *unit, analyzers []*Analyzer) []Finding {
 			Files:    u.files,
 			Pkg:      u.pkg,
 			Info:     u.info,
+			Prog:     prog,
 			findings: &fs,
 		})
 	}
@@ -118,7 +133,10 @@ func runUnit(u *unit, analyzers []*Analyzer) []Finding {
 	return fs
 }
 
-// sortFindings orders findings for deterministic output.
+// sortFindings orders findings for deterministic output. The order is
+// total — (file, line, column, rule, message) — so two analyzers
+// firing on the same file:line always report in the same sequence, no
+// matter which analyzer or unit produced which finding first.
 func sortFindings(fs []Finding) {
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i], fs[j]
@@ -127,6 +145,9 @@ func sortFindings(fs []Finding) {
 		}
 		if a.Line != b.Line {
 			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
 		}
 		if a.Rule != b.Rule {
 			return a.Rule < b.Rule

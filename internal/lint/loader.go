@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -73,6 +74,9 @@ func (c *Checker) parseDir(dir string) (nonTest, inTest, extTest []*ast.File, er
 		if perr != nil {
 			return nil, nil, nil, perr
 		}
+		if buildConstraintExcluded(f) {
+			continue
+		}
 		switch {
 		case !strings.HasSuffix(name, "_test.go"):
 			if pkgName == "" {
@@ -86,6 +90,37 @@ func (c *Checker) parseDir(dir string) (nonTest, inTest, extTest []*ast.File, er
 		}
 	}
 	return nonTest, inTest, extTest, nil
+}
+
+// buildConstraintExcluded reports whether f carries a //go:build (or
+// legacy // +build) constraint that evaluates false in the default
+// configuration the linter analyzes: no build tags set, release Go
+// version assumed. Files gated behind tags like `race` are skipped the
+// same way an untagged `go build` skips them; their tag-pair twins
+// (`!race`) stay in, so each package still type-checks as one
+// consistent file set.
+func buildConstraintExcluded(f *ast.File) bool {
+	defaultTags := func(tag string) bool {
+		return strings.HasPrefix(tag, "go1")
+	}
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			if !expr.Eval(defaultTags) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // CheckDir type-checks the files of a single directory as import path
@@ -105,7 +140,7 @@ func (c *Checker) CheckDir(dir, asPath string, analyzers []*Analyzer) ([]Finding
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
 	}
-	fs := runUnit(&unit{path: asPath, fset: c.fset, files: files, pkg: pkg, info: info}, analyzers)
+	fs := runUnit(&unit{path: asPath, fset: c.fset, files: files, pkg: pkg, info: info}, analyzers, nil)
 	sortFindings(fs)
 	return fs, nil
 }
@@ -121,8 +156,16 @@ type Module struct {
 	// package directory (testdata and hidden directories excluded).
 	dirs map[string]string
 
-	facing   map[string]*types.Package // import-facing (non-test) packages
-	checking map[string]bool           // import cycle detection
+	facing     map[string]*types.Package // import-facing (non-test) packages
+	facingInfo map[string]*types.Info    // their retained type info, for the call graph
+	srcs       map[string]*dirSrc        // parse cache, keyed by directory
+	checking   map[string]bool           // import cycle detection
+}
+
+// dirSrc caches one directory's parsed files so the import resolver,
+// the unit loader and the call-graph builder never re-parse a file.
+type dirSrc struct {
+	nonTest, inTest, extTest []*ast.File
 }
 
 // importerFunc adapts a function to types.Importer.
@@ -162,12 +205,14 @@ func LoadModule(c *Checker, start string) (*Module, error) {
 		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
 	}
 	m := &Module{
-		c:        c,
-		Root:     root,
-		Path:     modPath,
-		dirs:     make(map[string]string),
-		facing:   make(map[string]*types.Package),
-		checking: make(map[string]bool),
+		c:          c,
+		Root:       root,
+		Path:       modPath,
+		dirs:       make(map[string]string),
+		facing:     make(map[string]*types.Package),
+		facingInfo: make(map[string]*types.Info),
+		srcs:       make(map[string]*dirSrc),
+		checking:   make(map[string]bool),
 	}
 	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -213,10 +258,25 @@ func (m *Module) inModule(path string) bool {
 	return path == m.Path || strings.HasPrefix(path, m.Path+"/")
 }
 
+// sources returns dir's parsed files, parsing on first use.
+func (m *Module) sources(dir string) (*dirSrc, error) {
+	if s, ok := m.srcs[dir]; ok {
+		return s, nil
+	}
+	nonTest, inTest, extTest, err := m.c.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &dirSrc{nonTest: nonTest, inTest: inTest, extTest: extTest}
+	m.srcs[dir] = s
+	return s, nil
+}
+
 // importPkg resolves one import for the type-checker: module-internal
 // packages type-check recursively from source (non-test files only, as
 // the compiler would export them); everything else falls through to
-// the stdlib source importer.
+// the stdlib source importer. The type info of module packages is
+// retained for the call-graph layer.
 func (m *Module) importPkg(path string) (*types.Package, error) {
 	if !m.inModule(path) {
 		return m.c.std.Import(path)
@@ -233,18 +293,21 @@ func (m *Module) importPkg(path string) (*types.Package, error) {
 	}
 	m.checking[path] = true
 	defer delete(m.checking, path)
-	nonTest, _, _, err := m.c.parseDir(dir)
+	src, err := m.sources(dir)
 	if err != nil {
 		return nil, err
 	}
-	if len(nonTest) == 0 {
+	if len(src.nonTest) == 0 {
 		return nil, fmt.Errorf("package %s has no non-test Go files", path)
 	}
-	pkg, _, err := m.c.check(path, nonTest, importerFunc(m.importPkg))
+	info := newInfo()
+	conf := types.Config{Importer: importerFunc(m.importPkg)}
+	pkg, err := conf.Check(path, m.c.fset, src.nonTest, info)
 	if err != nil {
 		return nil, err
 	}
 	m.facing[path] = pkg
+	m.facingInfo[path] = info
 	return pkg, nil
 }
 
@@ -257,10 +320,11 @@ func (m *Module) LoadUnits(dir string) ([]*unit, error) {
 		return nil, err
 	}
 	path := m.importPath(abs)
-	nonTest, inTest, extTest, err := m.c.parseDir(abs)
+	src, err := m.sources(abs)
 	if err != nil {
 		return nil, err
 	}
+	nonTest, inTest, extTest := src.nonTest, src.inTest, src.extTest
 	var units []*unit
 	if files := append(append([]*ast.File(nil), nonTest...), inTest...); len(files) > 0 {
 		pkg, info, err := m.c.check(path, files, importerFunc(m.importPkg))

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -9,11 +10,32 @@ import (
 	"sort"
 )
 
+// writeJSONFindings emits findings as an indented JSON array — the
+// machine-readable face CI scripts consume. An empty result encodes as
+// [] rather than null so consumers can always range over it.
+func writeJSONFindings(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
 // Run lints the packages matched by the patterns (resolved against the
 // module containing start) with the full rule set and returns the
 // findings, sorted, with file paths relative to start when possible.
+// The module-wide call graph is built only when an analyzed package is
+// in an interprocedural rule's scope, so linting a leaf fixture stays
+// cheap.
 func Run(start string, patterns []string) ([]Finding, error) {
 	c := NewChecker()
+	return runWithChecker(c, start, patterns)
+}
+
+// runWithChecker is Run with a caller-owned Checker, letting tests
+// share one stdlib type-check across many module loads.
+func runWithChecker(c *Checker, start string, patterns []string) ([]Finding, error) {
 	mod, err := LoadModule(c, start)
 	if err != nil {
 		return nil, err
@@ -33,6 +55,15 @@ func Run(start string, patterns []string) ([]Finding, error) {
 		}
 	}
 	sort.Strings(dirs)
+	var prog *Program
+	for _, dir := range dirs {
+		if path := mod.importPath(dir); determinismScope[path] || hotAllocScope[path] {
+			if prog, err = buildProgram(mod); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
 	analyzers := All()
 	var findings []Finding
 	for _, dir := range dirs {
@@ -41,7 +72,7 @@ func Run(start string, patterns []string) ([]Finding, error) {
 			return nil, err
 		}
 		for _, u := range units {
-			findings = append(findings, runUnit(u, analyzers)...)
+			findings = append(findings, runUnit(u, analyzers, prog)...)
 		}
 	}
 	if abs, err := filepath.Abs(start); err == nil {
@@ -57,14 +88,19 @@ func Run(start string, patterns []string) ([]Finding, error) {
 
 // Main is the odblint command: lint the given package patterns
 // (default ./...) and print findings to stdout. The exit code is 0 for
-// a clean tree, 1 when there are findings, and 2 on usage or load
+// a clean tree (or one whose findings are all covered by the baseline
+// ledger), 1 when there are new findings, and 2 on usage or load
 // errors.
 func Main(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("odblint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the rules and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	sarifPath := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to `file` (\"-\" for stdout)")
+	baselinePath := fs.String("baseline", "", "subtract the waiver ledger at `file` from the findings")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline ledger from the current findings and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: odblint [-list] [packages]\n\nRules:\n")
+		fmt.Fprintf(stderr, "usage: odblint [flags] [packages]\n\nRules:\n")
 		for _, a := range All() {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -78,6 +114,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "odblint: -update-baseline requires -baseline <file>")
+		return 2
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -93,8 +133,52 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "odblint:", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	if *updateBaseline {
+		if err := NewBaseline(findings).Save(*baselinePath); err != nil {
+			fmt.Fprintln(stderr, "odblint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "odblint: wrote %s (%d finding(s) waived)\n", *baselinePath, len(findings))
+		return 0
+	}
+	if *baselinePath != "" {
+		base, err := LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "odblint:", err)
+			return 2
+		}
+		findings = base.Filter(findings)
+	}
+	if *sarifPath != "" {
+		w := stdout
+		var f *os.File
+		if *sarifPath != "-" {
+			if f, err = os.Create(*sarifPath); err != nil {
+				fmt.Fprintln(stderr, "odblint:", err)
+				return 2
+			}
+			w = f
+		}
+		err = WriteSARIF(w, findings, All())
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "odblint:", err)
+			return 2
+		}
+	}
+	if *jsonOut {
+		if err := writeJSONFindings(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "odblint:", err)
+			return 2
+		}
+	} else if *sarifPath != "-" {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "odblint: %d finding(s)\n", len(findings))

@@ -1,0 +1,27 @@
+// The negative laneshare corpus: workers that follow the ownership
+// discipline exactly as the real snoop lanes do. Nothing here may be
+// flagged.
+package lanes
+
+func (p *pool) spawn() {
+	for i := 0; i < p.n; i++ {
+		go p.work(i)
+	}
+}
+
+// work mirrors internal/cache/lanes.go: it strides its owned lane
+// range, writes only owned-indexed slots (including through a local
+// alias of the shared slice), and signals completion through the join
+// barrier.
+func (p *pool) work(worker int) {
+	for range p.wake[worker] {
+		for cpu := worker; cpu < len(p.found); cpu += p.n {
+			row := p.found
+			row[cpu] = true
+			local := 0
+			local++
+			_ = local
+		}
+		p.wg.Done()
+	}
+}

@@ -1,0 +1,46 @@
+// The positive laneshare corpus: lane workers violating the ownership
+// discipline in every way the rule knows about. The shapes mirror the
+// real snoop lanes in internal/cache/lanes.go, with the bugs the rule
+// exists to catch seeded back in.
+package lanes
+
+import "sync"
+
+type pool struct {
+	found []bool
+	line  uint64
+	n     int
+	mu    sync.Mutex
+	wg    sync.WaitGroup
+	out   chan int
+	wake  []chan struct{}
+}
+
+func (p *pool) start() {
+	for i := 0; i < p.n; i++ {
+		go p.run(i)
+		go p.alias(i)
+	}
+	go func(w int) {
+		p.found[w] = true // fine: w is the literal's own lane parameter
+		p.line = 2        // finding: captured shared write, unindexed
+	}(0)
+}
+
+// run seeds one violation per rule clause.
+func (p *pool) run(worker int) {
+	p.found[0] = true // finding: constant index, not the owned range
+	p.line = 7        // finding: unindexed shared write
+	p.out <- worker   // finding: channel send
+	p.mu.Lock()       // finding: mutex lock
+	p.mu.Unlock()     // finding: mutex unlock
+	p.wg.Add(1)       // finding: grows the join barrier
+	p.wg.Done()       // allowed: the join half of the barrier
+}
+
+// alias launders the receiver through a local before writing.
+func (p *pool) alias(worker int) {
+	q := p
+	q.found[worker] = true // allowed: owned index through the alias
+	q.line = 1             // finding: unindexed write through a shared alias
+}

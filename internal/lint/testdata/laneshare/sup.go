@@ -1,0 +1,13 @@
+// The suppressed laneshare corpus: a waived violation whose reason
+// names the fast-path concern hotwaiver demands in this package.
+package lanes
+
+func (p *pool) spawnSolo() {
+	go p.solo(0)
+}
+
+func (p *pool) solo(worker int) {
+	//lint:ignore laneshare single-worker fast path: with one lane the merge order cannot be perturbed
+	p.line = 9
+	_ = worker
+}

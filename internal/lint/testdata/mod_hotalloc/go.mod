@@ -1,0 +1,3 @@
+module odbscale
+
+go 1.22

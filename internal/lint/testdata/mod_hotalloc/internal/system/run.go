@@ -1,0 +1,11 @@
+// Package system provides the hot-path root of the hotalloc fixture:
+// everything sim code reachable from Run is per-event.
+package system
+
+import "odbscale/internal/sim"
+
+// Run drives the per-event path.
+func Run(e *sim.Engine) {
+	for e.Step() {
+	}
+}

@@ -1,0 +1,23 @@
+// Package sim is the scoped side of the taint fixture: it never names
+// time or math/rand, yet two of its functions draw entropy through the
+// timeutil wrappers and must be flagged.
+package sim
+
+import (
+	"time"
+
+	"odbscale/internal/timeutil"
+)
+
+// Tick draws wall-clock entropy through two wrapper hops.
+func Tick() int64 { return timeutil.Stamp() }
+
+// Order returns a map-iteration-ordered slice built elsewhere.
+func Order(m map[int]int) []int { return timeutil.Keys(m) }
+
+// Scale is pure and stays clean.
+func Scale(x int64) int64 { return timeutil.Pure(x) }
+
+// Inject retains the clock as an injectable value without calling it:
+// the sanctioned pattern, clean.
+func Inject() func() time.Time { return timeutil.Clock() }

@@ -1,0 +1,12 @@
+// Package telemetry holds the suppressed case of the taint fixture: a
+// scoped package waiving a transitive clock read with a reasoned
+// directive.
+package telemetry
+
+import "odbscale/internal/timeutil"
+
+// Sample reads the host clock for a display-only annotation.
+func Sample() int64 {
+	//lint:ignore taintdet host-clock annotation is display-only and never enters results
+	return timeutil.Stamp()
+}

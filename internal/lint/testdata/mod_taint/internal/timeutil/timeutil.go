@@ -1,0 +1,31 @@
+// Package timeutil is the cross-package wrapper layer of the taint
+// fixture: it is outside the determinism scope, so nothing here is
+// flagged directly — the point is that calling into it from a scoped
+// package must be.
+package timeutil
+
+import "time"
+
+// Stamp wraps the wall clock one level deep.
+func Stamp() int64 { return now() }
+
+// now adds a second hop so the reported path has depth.
+func now() int64 { return time.Now().UnixNano() }
+
+// Clock is the sanctioned injection pattern: it returns the wall-clock
+// function as a value without calling it. A reference is not a call
+// edge, so callers stay clean.
+func Clock() func() time.Time { return time.Now }
+
+// Pure is entropy-free.
+func Pure(x int64) int64 { return x * 2 }
+
+// Keys returns map keys in iteration order: an order-entropy source
+// even though it never touches a clock or RNG.
+func Keys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

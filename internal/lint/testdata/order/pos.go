@@ -1,0 +1,13 @@
+// The ordering corpus: several analyzers firing on one line. The
+// golden file pins the cross-analyzer reporting order — (file, line,
+// column, rule, message) — so no refactor of the driver can make two
+// same-line findings swap places between runs.
+package order
+
+import "time"
+
+// Mixed trips floateq and determinism on the same line.
+func Mixed(a, b float64) bool { return a == b && time.Now().Nanosecond() > 0 }
+
+// Chrono trips determinism twice on one line, disambiguated by column.
+func Chrono() int64 { return time.Now().UnixNano() - time.Now().Unix() }

@@ -51,6 +51,7 @@ type LockStats struct {
 // is eventually granted (the scheduler uses it to wake the process).
 type LockManager struct {
 	locks map[LockID]*lockState
+	free  []*lockState // recycled states; Release parks them, Acquire reuses
 	stats LockStats
 }
 
@@ -66,7 +67,13 @@ func (m *LockManager) Acquire(res LockID, owner int, grant func()) bool {
 	m.stats.Acquires++
 	st, ok := m.locks[res]
 	if !ok {
-		st = &lockState{}
+		if n := len(m.free); n > 0 {
+			st = m.free[n-1]
+			m.free = m.free[:n-1]
+		} else {
+			//lint:ignore hotalloc pool growth: allocates only until the free list covers peak concurrent locks, steady state recycles
+			st = &lockState{}
+		}
 		m.locks[res] = st
 	}
 	if !st.held {
@@ -91,6 +98,7 @@ func (m *LockManager) Release(res LockID, owner int) {
 	if len(st.waiters) == 0 {
 		st.held = false
 		delete(m.locks, res)
+		m.free = append(m.free, st) // waiters capacity rides along
 		return
 	}
 	next := st.waiters[0]

@@ -147,6 +147,7 @@ type Generator struct {
 	free []*Txn    // recycled transactions; their Ops capacity is reused
 	path []BlockID // index-descent scratch
 	seen []BlockID // duplicate-block scratch for scan loops
+	ob   opBuilder // builder scratch, rebound per Next so no builder escapes
 }
 
 // NewGenerator builds a generator over layout l with its own RNG stream.
@@ -195,9 +196,11 @@ func (g *Generator) Next(client int) *Txn {
 		g.free = g.free[:n-1]
 		*txn = Txn{Type: t, Home: w, District: d, Ops: txn.Ops[:0]}
 	} else {
+		//lint:ignore hotalloc pool-miss fallback: Recycle warms the free list, steady state reuses transactions
 		txn = &Txn{Type: t, Home: w, District: d}
 	}
-	b := &opBuilder{g: g, txn: txn, budget: g.jitter(instrBudget[t])}
+	g.ob = opBuilder{g: g, txn: txn, budget: g.jitter(instrBudget[t])}
+	b := &g.ob
 	switch t {
 	case NewOrder:
 		g.newOrder(b, w, d)

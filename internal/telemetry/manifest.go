@@ -61,7 +61,10 @@ func NewManifest(tool string, seed int64) *Manifest {
 			Module:    "odbscale",
 			// Mirrors lint.All(); a telemetry test pins the two in sync
 			// without linking go/types into every binary.
-			LintRules: []string{"determinism", "maporder", "sentinelerr", "floateq", "ctxloop", "hotwaiver"},
+			LintRules: []string{
+				"determinism", "maporder", "sentinelerr", "floateq", "ctxloop", "hotwaiver",
+				"taintdet", "hotalloc", "laneshare",
+			},
 			Tier1:     "go build ./... && go test ./... && odblint ./...",
 		},
 	}
