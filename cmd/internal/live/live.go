@@ -31,6 +31,15 @@ type ProfileSource interface {
 	WriteProfiles(io.Writer) error
 }
 
+// TraceSource is the optional fifth endpoint: sources that also carry
+// sampled transaction span traces (e.g. *txtrace.Tracer for one run,
+// *txtrace.Store for a campaign, or a combined source wrapping either)
+// additionally get /traces. Detected by type assertion in NewMux, like
+// ProfileSource.
+type TraceSource interface {
+	WriteTraces(io.Writer) error
+}
+
 // contentTypeOM is the OpenMetrics exposition content type.
 const contentTypeOM = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
@@ -49,7 +58,8 @@ func handler(contentType string, write func(io.Writer) error) http.HandlerFunc {
 }
 
 // NewMux routes the flight-recorder endpoints over src, adding
-// /profile when src also carries cycle-attribution profiles.
+// /profile when src also carries cycle-attribution profiles and
+// /traces when it carries sampled transaction spans.
 func NewMux(src Source) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", handler(contentTypeOM, src.WriteMetrics))
@@ -59,6 +69,10 @@ func NewMux(src Source) *http.ServeMux {
 	if ps, ok := src.(ProfileSource); ok {
 		mux.HandleFunc("/profile", handler("application/json", ps.WriteProfiles))
 		index += " /profile"
+	}
+	if ts, ok := src.(TraceSource); ok {
+		mux.HandleFunc("/traces", handler("application/json", ts.WriteTraces))
+		index += " /traces"
 	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {

@@ -19,6 +19,7 @@ import (
 	"odbscale/internal/profile"
 	"odbscale/internal/system"
 	"odbscale/internal/telemetry"
+	"odbscale/internal/txtrace"
 )
 
 // httpGet fetches url and returns the body and content type; non-200
@@ -165,6 +166,90 @@ func TestProfileEndpoint(t *testing.T) {
 	}
 	if idx, _, err := httpGet(ts.URL + "/"); err != nil || !strings.Contains(idx, "/profile") {
 		t.Errorf("index should advertise /profile: %q (err %v)", idx, err)
+	}
+}
+
+// TestMetricsResponseFormat pins the OpenMetrics exposition contract:
+// the exact content type (version and charset included) and a body that
+// ends with the "# EOF\n" terminator — scrapers reject anything else.
+func TestMetricsResponseFormat(t *testing.T) {
+	rec := telemetry.NewRecorder(telemetry.Config{})
+	rec.ObserveSpan("NewOrder", 900)
+	ts := httptest.NewServer(NewMux(rec))
+	defer ts.Close()
+
+	body, ct, err := httpGet(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "application/openmetrics-text; version=1.0.0; charset=utf-8"; ct != want {
+		t.Errorf("/metrics content type = %q, want %q", ct, want)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		tail := body
+		if len(tail) > 40 {
+			tail = tail[len(tail)-40:]
+		}
+		t.Errorf("/metrics body does not end with the EOF terminator; tail = %q", tail)
+	}
+	if strings.Count(body, "# EOF") != 1 {
+		t.Errorf("/metrics body has %d EOF markers, want exactly 1", strings.Count(body, "# EOF"))
+	}
+	// An empty histogram must not emit quantile samples (OpenMetrics has
+	// no NaN), while the recorder's observed type must.
+	if !strings.Contains(body, `odb_txn_latency_us_quantile{txn_type="NewOrder"`) {
+		t.Errorf("/metrics missing quantile samples for the observed type:\n%s", body)
+	}
+}
+
+// spannedSource combines a flight source with a span tracer — the shape
+// odbrun serves when both -listen and -spans are set.
+type spannedSource struct {
+	*telemetry.Recorder
+	*txtrace.Tracer
+}
+
+// TestTraceEndpoint checks /traces appears exactly when the source
+// carries span traces, and serves the tracer's dump payload.
+func TestTraceEndpoint(t *testing.T) {
+	// A plain flight source must not expose /traces.
+	plain := httptest.NewServer(NewMux(telemetry.NewRecorder(telemetry.Config{})))
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/traces on a plain source: status %d, want 404", resp.StatusCode)
+	}
+
+	tr := txtrace.NewTracer(txtrace.Config{HeadEvery: 1})
+	tr.SetMeta(txtrace.Meta{Label: "W=10,P=1", FreqHz: 2e9})
+	ps := tr.NewProcState(0)
+	ps.Begin(odb.NewOrder, 1000)
+	ps.EndChunk(1000, 500, 0)
+	tr.End(ps, 1500, true)
+	src := spannedSource{telemetry.NewRecorder(telemetry.Config{}), tr}
+
+	ts := httptest.NewServer(NewMux(src))
+	defer ts.Close()
+	body, ct, err := httpGet(ts.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct != "application/json" {
+		t.Errorf("/traces content type = %q", ct)
+	}
+	var d txtrace.Dump
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatalf("/traces JSON: %v\n%s", err, body)
+	}
+	if d.Meta.Label != "W=10,P=1" || len(d.Traces) != 1 || d.Traces[0].Latency != 500 {
+		t.Errorf("/traces payload = %s", body)
+	}
+	if idx, _, err := httpGet(ts.URL + "/"); err != nil || !strings.Contains(idx, "/traces") {
+		t.Errorf("index should advertise /traces: %q (err %v)", idx, err)
 	}
 }
 

@@ -10,11 +10,17 @@
 // provenance, phase durations), the final metrics and per-transaction
 // latency digests.
 //
+// The span tracer rides along the same way: -spans captures a
+// deterministic sample of per-transaction span trees (head sampling
+// plus the slowest per type) and writes the trace dump as JSON for
+// cmd/odbspan; with -listen it is also served live on /traces.
+//
 // Usage:
 //
 //	odbrun [-w warehouses] [-c clients] [-p processors] [-seed n]
 //	       [-machine xeon|itanium2] [-txns n] [-nocoherence]
 //	       [-json] [-listen addr] [-timeline file] [-sample ms]
+//	       [-spans file] [-spanhead n]
 package main
 
 import (
@@ -30,7 +36,15 @@ import (
 	"odbscale/cmd/internal/live"
 	"odbscale/internal/system"
 	"odbscale/internal/telemetry"
+	"odbscale/internal/txtrace"
 )
+
+// spannedSource serves the flight recorder plus the span tracer — the
+// shape odbrun's live server takes when both -listen and -spans are on.
+type spannedSource struct {
+	*telemetry.Recorder
+	*txtrace.Tracer
+}
 
 // report is the -json output document.
 type report struct {
@@ -55,6 +69,8 @@ func main() {
 	listen := flag.String("listen", "", "serve the flight recorder on this address (e.g. :8090)")
 	timelineOut := flag.String("timeline", "", "write the sampled timeline as JSON to this file")
 	sampleMS := flag.Float64("sample", 100, "timeline sample interval in simulated milliseconds")
+	spansOut := flag.String("spans", "", "trace transaction spans and write the dump as JSON to this file")
+	spanHead := flag.Int("spanhead", txtrace.DefaultHeadEvery, "head-sample every Nth measured transaction (-1 disables head sampling)")
 	flag.Parse()
 
 	cfg := system.DefaultConfig(*w, *c, *p)
@@ -70,22 +86,49 @@ func main() {
 	}
 
 	rec := telemetry.NewRecorder(telemetry.Config{SampleIntervalMS: *sampleMS})
+	var spans *txtrace.Tracer
+	if *spansOut != "" {
+		spans = txtrace.NewTracer(txtrace.Config{HeadEvery: *spanHead})
+	}
 	var srv *live.Server
 	if *listen != "" {
+		var src live.Source = rec
+		endpoints := "/metrics /timeline /progress"
+		if spans != nil {
+			src = spannedSource{rec, spans}
+			endpoints += " /traces"
+		}
 		var err error
-		srv, err = live.Serve(*listen, rec)
+		srv, err = live.Serve(*listen, src)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("flight recorder on http://%s (/metrics /timeline /progress)", srv.Addr())
+		log.Printf("flight recorder on http://%s (%s)", srv.Addr(), endpoints)
 	}
 
+	opts := []system.Option{system.WithRecorder(rec)}
+	if spans != nil {
+		opts = append(opts, system.WithSpans(spans))
+	}
 	started := time.Now()
-	m, err := system.Run(context.Background(), cfg, system.WithRecorder(rec))
+	m, err := system.Run(context.Background(), cfg, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	wall := time.Since(started)
+
+	if spans != nil {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := spans.WriteTraces(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *timelineOut != "" {
 		f, err := os.Create(*timelineOut)
@@ -128,8 +171,15 @@ func main() {
 			float64(m.Processors)*cfg.Machine.FreqHz/(m.IPX*m.CPI)*m.CPUUtil, m.TPS)
 		for _, name := range rec.HistogramNames() {
 			h := rec.HistogramSnapshot(name)
+			p50, ok := h.QuantileOK(0.50)
+			if !ok {
+				fmt.Printf("  latency %-12s n=0     (no measured commits)\n", name)
+				continue
+			}
+			p95, _ := h.QuantileOK(0.95)
+			p99, _ := h.QuantileOK(0.99)
 			fmt.Printf("  latency %-12s n=%-5d mean=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms\n",
-				name, h.Count(), h.Mean()/1e3, h.Quantile(0.50)/1e3, h.Quantile(0.95)/1e3, h.Quantile(0.99)/1e3)
+				name, h.Count(), h.Mean()/1e3, p50/1e3, p95/1e3, p99/1e3)
 		}
 	}
 

@@ -29,6 +29,13 @@
 // smallest-W profile diffed against the largest-W one. -profiledir
 // additionally writes each point's profile JSON to a directory for
 // offline odbprof analysis.
+//
+// -spans turns on the per-transaction span tracer the same way: every
+// point runs under system.Run with WithSpans, per-point trace dumps
+// persist in the checkpoint, the store is served on /traces alongside
+// -listen, and after the campaign each processor lane prints the
+// wait-state shift across the pivot. -spandir writes each point's dump
+// JSON to a directory for offline odbspan analysis.
 package main
 
 import (
@@ -49,6 +56,7 @@ import (
 	"odbscale/internal/profile"
 	"odbscale/internal/system"
 	"odbscale/internal/telemetry"
+	"odbscale/internal/txtrace"
 )
 
 // flightSource combines the campaign flight recorder with the profile
@@ -57,6 +65,12 @@ import (
 type flightSource struct {
 	*telemetry.CampaignRecorder
 	*profile.Store
+}
+
+// spanSource adds the span-trace store, exposing /traces as well.
+type spanSource struct {
+	live.Source
+	*txtrace.Store
 }
 
 func parseInts(s string) []int {
@@ -87,6 +101,8 @@ func main() {
 	listen := flag.String("listen", "", "serve the live campaign flight recorder on this address (/metrics /timeline /progress)")
 	profileFlag := flag.Bool("profile", false, "run every point under the cycle-attribution profiler and print the attribution shift across the cached-to-scaled pivot")
 	profileDir := flag.String("profiledir", "", "with -profile, write each point's profile JSON into this directory")
+	spansFlag := flag.Bool("spans", false, "run every point under the span tracer and print the wait-state shift across the pivot")
+	spanDir := flag.String("spandir", "", "with -spans, write each point's trace dump JSON into this directory")
 	csv := flag.Bool("csv", false, "CSV output")
 	jsonOut := flag.Bool("json", false, "JSON output (one object per point)")
 	quiet := flag.Bool("quiet", false, "suppress the stderr progress line")
@@ -134,6 +150,11 @@ func main() {
 		profiles = profile.NewStore()
 		spec.Profiles = profiles
 	}
+	var spans *txtrace.Store
+	if *spansFlag || *spanDir != "" {
+		spans = txtrace.NewStore(txtrace.Config{})
+		spec.Spans = spans
+	}
 
 	if *listen != "" {
 		flight := telemetry.NewCampaignRecorder(telemetry.Config{})
@@ -143,6 +164,10 @@ func main() {
 		if profiles != nil {
 			src = flightSource{flight, profiles}
 			endpoints += " /profile"
+		}
+		if spans != nil {
+			src = spanSource{src, spans}
+			endpoints += " /traces"
 		}
 		srv, err := live.Serve(*listen, src)
 		if err != nil {
@@ -191,6 +216,9 @@ func main() {
 	if profiles != nil {
 		emitProfiles(profiles, warehouses, processors, *profileDir)
 	}
+	if spans != nil {
+		emitSpans(spans, warehouses, processors, *spanDir)
+	}
 }
 
 // emitProfiles post-processes the campaign's profile store: optionally
@@ -231,6 +259,48 @@ func emitProfiles(st *profile.Store, warehouses, processors []int, dir string) {
 		fmt.Printf("\nattribution shift across the pivot, P=%d (%s -> %s):\n",
 			p, lo.Meta.Label, hi.Meta.Label)
 		if err := profile.Diff(lo, hi).Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// emitSpans post-processes the campaign's span-trace store: optionally
+// write each point's dump JSON to dir, then print the wait-state shift
+// across the pivot for each processor lane.
+func emitSpans(st *txtrace.Store, warehouses, processors []int, dir string) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, key := range st.Keys() {
+			d := st.Get(key)
+			name := strings.NewReplacer("=", "", ",", "-").Replace(key) + ".json"
+			f, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := d.Write(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		log.Printf("wrote %d trace dumps to %s", len(st.Keys()), dir)
+	}
+	if len(warehouses) < 2 {
+		return
+	}
+	for _, p := range processors {
+		lo := st.Get(telemetry.PointName(warehouses[0], p))
+		hi := st.Get(telemetry.PointName(warehouses[len(warehouses)-1], p))
+		if lo == nil || hi == nil {
+			continue
+		}
+		fmt.Printf("\nwait-state shift across the pivot, P=%d (%s -> %s):\n",
+			p, lo.Meta.Label, hi.Meta.Label)
+		if err := txtrace.WriteDiff(os.Stdout, lo, hi); err != nil {
 			log.Fatal(err)
 		}
 	}

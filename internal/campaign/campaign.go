@@ -25,6 +25,7 @@ import (
 	"odbscale/internal/profile"
 	"odbscale/internal/system"
 	"odbscale/internal/telemetry"
+	"odbscale/internal/txtrace"
 )
 
 // Spec describes one campaign: the platform and measurement lengths,
@@ -97,6 +98,15 @@ type Spec struct {
 	// the run's latency histograms — persist in the checkpoint, so a
 	// resumed campaign restores them instead of losing them.
 	Profiles *profile.Store
+
+	// Spans, when set, turns on the per-transaction span tracer: every
+	// measurement run executes under system.Run with WithSpans and a
+	// fresh tracer built from the store's sampling configuration
+	// (alongside the flight recorder and profiler when those are also
+	// set), and each finished point's trace dump lands in Spans under
+	// its telemetry.PointName key. With a CheckpointPath the dump
+	// persists in the checkpoint and survives resume.
+	Spans *txtrace.Store
 }
 
 // fingerprint reduces the spec to its run-defining parameters.
@@ -196,6 +206,19 @@ func defaultProfiledRun(ctx context.Context, cfg system.Config, rec *telemetry.R
 	return system.Run(ctx, cfg, system.WithRecorder(rec), system.WithProfiler(col))
 }
 
+func defaultSpannedRun(ctx context.Context, cfg system.Config, rec *telemetry.Recorder,
+	col *profile.Collector, tr *txtrace.Tracer) (system.Metrics, error) {
+	opts := make([]system.Option, 0, 3)
+	if rec != nil {
+		opts = append(opts, system.WithRecorder(rec))
+	}
+	if col != nil {
+		opts = append(opts, system.WithProfiler(col))
+	}
+	opts = append(opts, system.WithSpans(tr))
+	return system.Run(ctx, cfg, opts...)
+}
+
 // Runner executes campaigns. The zero value with a Spec is ready to
 // use; RunFunc may be overridden to interpose on simulator runs (tests,
 // caching layers).
@@ -214,6 +237,13 @@ type Runner struct {
 	// WithRecorder and WithProfiler. The
 	// recorder argument is nil unless Spec.Flight is also set.
 	ProfiledFunc func(ctx context.Context, cfg system.Config, rec *telemetry.Recorder, col *profile.Collector) (system.Metrics, error)
+
+	// SpannedFunc is the span-traced entry point used for measurement
+	// runs when Spec.Spans is set; nil means system.Run with WithSpans
+	// (plus WithRecorder / WithProfiler for the non-nil observers). The
+	// recorder is nil unless Spec.Flight is also set, the collector nil
+	// unless Spec.Profiles is.
+	SpannedFunc func(ctx context.Context, cfg system.Config, rec *telemetry.Recorder, col *profile.Collector, tr *txtrace.Tracer) (system.Metrics, error)
 
 	// Clock supplies the wall time behind the Elapsed fields of
 	// progress events; nil means the real clock. Simulated results
@@ -435,6 +465,9 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 				if spec.Profiles != nil && pt.Flight.Profile != nil {
 					spec.Profiles.Put(name, pt.Flight.Profile)
 				}
+				if spec.Spans != nil && pt.Flight.Spans != nil {
+					spec.Spans.Put(name, pt.Flight.Spans)
+				}
 			}
 			em.pointFinished(PointResult{
 				Point:   Point{Warehouses: w, Processors: p, Clients: pt.C},
@@ -483,7 +516,26 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 			var err error
 			var rec *telemetry.Recorder
 			var col *profile.Collector
+			var tr *txtrace.Tracer
 			switch {
+			case spec.Spans != nil:
+				spanFn := r.SpannedFunc
+				if spanFn == nil {
+					spanFn = defaultSpannedRun
+				}
+				if fl := spec.Flight; fl != nil {
+					rec = fl.StartRun(name)
+				}
+				if spec.Profiles != nil {
+					col = profile.NewCollector()
+				}
+				tr = spec.Spans.NewTracer()
+				m, err = pl.do(ctx, func(ctx context.Context) (system.Metrics, error) {
+					return spanFn(ctx, cfg, rec, col, tr)
+				})
+				if fl := spec.Flight; fl != nil {
+					fl.FinishRun(name, err == nil)
+				}
 			case spec.Profiles != nil:
 				profFn := r.ProfiledFunc
 				if profFn == nil {
@@ -521,7 +573,7 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 			// Persist the point's observability payload alongside its
 			// metrics so a resumed campaign restores rather than loses it.
 			var pf *PointFlight
-			if rec != nil || col != nil {
+			if rec != nil || col != nil || tr != nil {
 				pf = &PointFlight{}
 				if rec != nil {
 					pf.Hists = encodeHists(rec.Histograms())
@@ -531,6 +583,12 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 					prof.Meta.Label = name
 					spec.Profiles.Put(name, prof)
 					pf.Profile = prof
+				}
+				if tr != nil {
+					d := tr.Dump()
+					d.Meta.Label = name
+					spec.Spans.Put(name, d)
+					pf.Spans = d
 				}
 			}
 			em.pointFinished(PointResult{Point: point, Metrics: m, Elapsed: elapsed})

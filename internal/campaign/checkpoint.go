@@ -13,6 +13,7 @@ import (
 	"odbscale/internal/profile"
 	"odbscale/internal/system"
 	"odbscale/internal/telemetry"
+	"odbscale/internal/txtrace"
 )
 
 // checkpointVersion guards the on-disk format.
@@ -53,11 +54,12 @@ type CheckpointPoint struct {
 
 // PointFlight persists a completed point's observability data so a
 // resumed campaign restores it instead of losing it: the per-type
-// latency histograms (base64 of the mergeable Histogram encoding) and
-// the point's cycle-attribution profile.
+// latency histograms (base64 of the mergeable Histogram encoding), the
+// point's cycle-attribution profile, and its span-trace dump.
 type PointFlight struct {
 	Hists   map[string]string `json:"hists,omitempty"`
 	Profile *profile.Profile  `json:"profile,omitempty"`
+	Spans   *txtrace.Dump     `json:"spans,omitempty"`
 }
 
 // encodeHists converts a run's histograms to the checkpoint wire form.

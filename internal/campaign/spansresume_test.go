@@ -1,0 +1,147 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"odbscale/internal/odb"
+	"odbscale/internal/profile"
+	"odbscale/internal/sim"
+	"odbscale/internal/system"
+	"odbscale/internal/telemetry"
+	"odbscale/internal/txtrace"
+)
+
+// fakeSpanned emulates a span-traced measurement run: a deterministic
+// set of transaction traces derived only from the configuration, so two
+// campaigns covering the same points converge on identical per-point
+// dumps regardless of interruption.
+type fakeSpanned struct {
+	mu    sync.Mutex
+	delay time.Duration
+	runs  int
+}
+
+func (f *fakeSpanned) run(ctx context.Context, cfg system.Config, rec *telemetry.Recorder,
+	col *profile.Collector, tr *txtrace.Tracer) (system.Metrics, error) {
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return system.Metrics{}, ctx.Err()
+		}
+	} else if err := ctx.Err(); err != nil {
+		return system.Metrics{}, err
+	}
+	f.mu.Lock()
+	f.runs++
+	f.mu.Unlock()
+	w := cfg.Warehouses
+	if tr != nil {
+		tr.SetMeta(txtrace.Meta{Warehouses: w, Clients: cfg.Clients, Processors: cfg.Processors,
+			Seed: cfg.Seed, FreqHz: cfg.Machine.FreqHz})
+		ps := tr.NewProcState(0)
+		for i := 0; i < 10; i++ {
+			start := sim.Time(i * 10000)
+			lat := sim.Time(w*100 + i*37)
+			ps.Begin(odb.NewOrder, start)
+			ps.AddInstr(odb.PhaseBTree, uint64(w))
+			ps.EndChunk(start, lat, uint64(w))
+			tr.End(ps, start+lat, true)
+		}
+	}
+	return system.Metrics{
+		Warehouses: w, Clients: cfg.Clients, Processors: cfg.Processors,
+		Txns: uint64(cfg.MeasureTxns),
+	}, nil
+}
+
+// TestSpansKillResumeRestoresDumps is the span store's crash-consistency
+// guarantee: a campaign killed mid-flight and resumed with a fresh span
+// store must converge on exactly the per-point trace dumps of an
+// uninterrupted campaign — completed points come back from the
+// checkpoint, not from re-runs.
+func TestSpansKillResumeRestoresDumps(t *testing.T) {
+	total := len(testWarehouses) * len(testProcessors)
+	specFor := func(path string) (Spec, *txtrace.Store) {
+		spec := testSpec()
+		spec.AutoTune = false
+		spec.Clients = 8
+		spec.CheckpointPath = path
+		st := txtrace.NewStore(txtrace.Config{HeadEvery: 2, TailK: 2})
+		spec.Spans = st
+		return spec, st
+	}
+	dir := t.TempDir()
+
+	// Reference: uninterrupted campaign.
+	specA, stA := specFor(filepath.Join(dir, "ckA.json"))
+	fsA := &fakeSpanned{}
+	if _, err := (&Runner{Spec: specA, SpannedFunc: fsA.run}).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill after three successful points.
+	pathB := filepath.Join(dir, "ckB.json")
+	specB, _ := specFor(pathB)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := &recorder{onFinished: func(successes int) {
+		if successes == 3 {
+			cancel()
+		}
+	}}
+	specB.Observer = obs
+	fsB := &fakeSpanned{delay: 2 * time.Millisecond}
+	if _, err := (&Runner{Spec: specB, SpannedFunc: fsB.run}).Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled campaign returned %v, want context.Canceled", err)
+	}
+	killed := len(obs.successes())
+	if killed < 3 || killed >= total {
+		t.Fatalf("kill finished %d of %d points — cancellation did not interrupt", killed, total)
+	}
+
+	// Resume against the same checkpoint with a fresh store.
+	specC, stC := specFor(pathB)
+	specC.Resume = true
+	fsC := &fakeSpanned{}
+	res, err := (&Runner{Spec: specC, SpannedFunc: fsC.run}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PointsResumed != killed {
+		t.Fatalf("resumed %d points, checkpoint held %d", res.Summary.PointsResumed, killed)
+	}
+	if fsC.runs != total-killed {
+		t.Fatalf("resume executed %d runs, want the %d incomplete points", fsC.runs, total-killed)
+	}
+
+	// Per-point dumps — restored ones included — must match exactly.
+	keysA, keysC := stA.Keys(), stC.Keys()
+	sort.Strings(keysA)
+	sort.Strings(keysC)
+	if !reflect.DeepEqual(keysA, keysC) {
+		t.Fatalf("span store keys differ:\n%v\n%v", keysA, keysC)
+	}
+	if len(keysA) != total {
+		t.Fatalf("store holds %d dumps, want %d", len(keysA), total)
+	}
+	for _, k := range keysA {
+		da, dc := stA.Get(k), stC.Get(k)
+		if !reflect.DeepEqual(da, dc) {
+			t.Errorf("dump %q differs after kill/resume:\nuninterrupted %+v\nresumed       %+v", k, da, dc)
+		}
+		if da.Meta.Label != k {
+			t.Errorf("dump %q labeled %q, want the point name", k, da.Meta.Label)
+		}
+		if len(da.Traces) == 0 {
+			t.Errorf("dump %q retained no traces", k)
+		}
+	}
+}

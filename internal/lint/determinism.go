@@ -24,6 +24,7 @@ var determinismScope = map[string]bool{
 	"odbscale/internal/xrand":       true, // the seeded entropy source itself
 	"odbscale/internal/bus":         true,
 	"odbscale/internal/storage":     true,
+	"odbscale/internal/txtrace":     true, // span sampling must be seed-reproducible
 }
 
 // Determinism forbids ambient entropy — wall clocks, the global

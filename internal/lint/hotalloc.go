@@ -18,6 +18,7 @@ var hotAllocScope = map[string]bool{
 	"odbscale/internal/buffercache": true,
 	"odbscale/internal/xrand":       true,
 	"odbscale/internal/odb":         true,
+	"odbscale/internal/txtrace":     true, // per-commit span path pools trace records
 }
 
 // HotAlloc flags allocation patterns inside functions on the per-event

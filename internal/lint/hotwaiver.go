@@ -18,6 +18,7 @@ var hotPathScope = map[string]bool{
 	"odbscale/internal/osker":       true,
 	"odbscale/internal/workload":    true,
 	"odbscale/internal/system":      true,
+	"odbscale/internal/txtrace":     true,
 }
 
 // perfReasonMarkers are the substrings (matched case-insensitively) that

@@ -11,7 +11,21 @@ type LockClass uint8
 const (
 	LockWarehouse LockClass = iota
 	LockDistrict
+
+	// NumLockClasses bounds the class enum for per-class accounting.
+	NumLockClasses = int(iota)
 )
+
+// String names the lock class for reports and trace exports.
+func (c LockClass) String() string {
+	switch c {
+	case LockWarehouse:
+		return "warehouse"
+	case LockDistrict:
+		return "district"
+	}
+	return fmt.Sprintf("class%d", uint8(c))
+}
 
 // LockID names one lockable resource.
 type LockID struct {

@@ -17,6 +17,9 @@ const (
 	numTxnTypes
 )
 
+// NumTxnTypes is the size of the TxnType enum, for per-type tables.
+const NumTxnTypes = int(numTxnTypes)
+
 var txnNames = [...]string{"NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel"}
 
 func (t TxnType) String() string { return txnNames[t] }

@@ -37,10 +37,17 @@ type Proc struct {
 
 	quantumUsed uint64
 	pendingWake bool
+	readyAt     sim.Time // when the process last entered the ready queue
 }
 
 // State returns the process's scheduling state.
 func (p *Proc) State() State { return p.state }
+
+// ReadyAt returns the simulated time the process last became ready —
+// the boundary the span tracer uses to split a scheduling gap into
+// resource wait (blocked, before readyAt) and run-queue wait (ready but
+// undispatched, after readyAt).
+func (p *Proc) ReadyAt() sim.Time { return p.readyAt }
 
 // Outcome reports what one executed chunk did.
 type Outcome struct {
@@ -129,6 +136,7 @@ func New(eng *sim.Engine, cfg Config, run RunFunc, sw SwitchFunc) *Scheduler {
 // Admit adds a new process to the ready queue and kicks an idle CPU.
 func (s *Scheduler) Admit(p *Proc) {
 	p.state = Ready
+	p.readyAt = s.eng.Now()
 	s.ready = append(s.ready, p)
 	s.kick()
 }
@@ -147,6 +155,7 @@ func (s *Scheduler) Wake(p *Proc) {
 		return
 	}
 	p.state = Ready
+	p.readyAt = s.eng.Now()
 	s.ready = append(s.ready, p)
 	s.kick()
 }
@@ -259,6 +268,7 @@ func (s *Scheduler) finishCall(arg any) {
 		if p.pendingWake {
 			p.pendingWake = false
 			p.state = Ready
+			p.readyAt = s.eng.Now()
 			s.ready = append(s.ready, p)
 		} else {
 			p.state = Blocked
@@ -268,6 +278,7 @@ func (s *Scheduler) finishCall(arg any) {
 		// Time slice expired with competitors waiting: preempt.
 		s.stats.Preemptions++
 		p.state = Ready
+		p.readyAt = s.eng.Now()
 		c.current = nil
 		s.ready = append(s.ready, p)
 		s.dispatch(cpu, p)

@@ -9,6 +9,7 @@ import (
 	"odbscale/internal/profile"
 	"odbscale/internal/telemetry"
 	"odbscale/internal/trace"
+	"odbscale/internal/txtrace"
 )
 
 // Option attaches an optional observer to a Run. Observers are strictly
@@ -23,6 +24,7 @@ type runOpts struct {
 	emon       *perfmon.Config
 	emonOut    *[]perfmon.Result
 	prof       *profile.Collector
+	spans      *txtrace.Tracer
 }
 
 // WithTrace captures every simulated memory reference of the measurement
@@ -62,6 +64,16 @@ func WithEMON(cfg perfmon.Config, results *[]perfmon.Result) Option {
 // retires them. A nil collector is ignored.
 func WithProfiler(prof *profile.Collector) Option {
 	return func(o *runOpts) { o.prof = prof }
+}
+
+// WithSpans feeds the per-transaction span tracer: each measured
+// transaction's lifecycle is built as a tree of simulated-time spans
+// (run-queue wait, per-phase CPU, lock wait per class, I/O, busy wait)
+// and a deterministic sample — head sampling by commit counter plus the
+// K slowest per type — is retained for reports and export. A nil tracer
+// is ignored.
+func WithSpans(tr *txtrace.Tracer) Option {
+	return func(o *runOpts) { o.spans = tr }
 }
 
 // Run executes one configuration and returns its metrics. It is the
@@ -115,10 +127,21 @@ func Run(ctx context.Context, cfg Config, opts ...Option) (Metrics, error) {
 		})
 	}
 
+	if o.spans != nil {
+		o.spans.SetMeta(txtrace.Meta{
+			Warehouses: cfg.Warehouses,
+			Clients:    cfg.Clients,
+			Processors: cfg.Processors,
+			Seed:       cfg.Seed,
+			FreqHz:     cfg.Machine.FreqHz,
+		})
+	}
+
 	m := build(cfg)
 	defer m.close()
 	m.rec = o.rec
 	m.prof = o.prof
+	m.spans = o.spans
 
 	// Observer hooks arm at the warm-up reset so they see exactly the
 	// measurement period. Multiple observers chain on the same hook.

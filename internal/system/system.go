@@ -16,6 +16,7 @@ import (
 	"odbscale/internal/sim"
 	"odbscale/internal/storage"
 	"odbscale/internal/telemetry"
+	"odbscale/internal/txtrace"
 	"odbscale/internal/workload"
 	"odbscale/internal/xrand"
 )
@@ -28,6 +29,7 @@ type serverProc struct {
 	carry     []odb.BlockID // blocks installed by I/O since the last chunk
 	dbWriter  bool
 	startAt   sim.Time // when the current transaction was generated (flight recorder)
+	ts        *txtrace.ProcState // span builder (nil unless WithSpans)
 
 	wake      func()        // prebound scheduler wakeup, shared by every wait site
 	blocksBuf []odb.BlockID // per-chunk visited-block scratch, reused across chunks
@@ -70,6 +72,10 @@ type machine struct {
 	prof       *profile.Collector
 	userShares []profile.Share
 	osShares   []profile.Share
+
+	// Span tracer (nil unless WithSpans). Purely observational, like the
+	// recorder and profiler: no randomness, no scheduling.
+	spans *txtrace.Tracer
 
 	measuring bool
 	wantReset bool
@@ -308,7 +314,11 @@ func (m *machine) start() {
 		return p
 	}
 	for i := 0; i < m.cfg.Clients; i++ {
-		admit(i, &serverProc{})
+		sp := &serverProc{}
+		if m.spans != nil {
+			sp.ts = m.spans.NewProcState(i)
+		}
+		admit(i, sp)
 	}
 	dbw := admit(m.cfg.Clients, &serverProc{dbWriter: true})
 	interval := sim.Time(m.cfg.Tuning.DBWriterIntervalMS * m.cyclesPerMS)
@@ -382,6 +392,12 @@ func (m *machine) runChunk(p *osker.Proc, cpuID int, budget uint64) osker.Outcom
 		return m.runDBWriter(p, cpuID)
 	}
 	t := &m.cfg.Tuning
+	ts := sp.ts
+	if ts != nil {
+		// Classify the gap since the process's last chunk: resource wait
+		// up to the scheduler's ready stamp, run-queue wait after it.
+		ts.StartChunk(m.eng.Now(), p.ReadyAt())
+	}
 
 	chunkCap := t.ChunkInstr
 	if budget < chunkCap {
@@ -413,17 +429,24 @@ loop:
 			if m.rec != nil {
 				sp.startAt = m.eng.Now()
 			}
+			if ts != nil {
+				ts.Begin(sp.txn.Type, m.eng.Now())
+				ts.AddInstr(odb.PhaseSyscall, t.PerTxnOSInstr)
+			}
 		}
 		op := &sp.txn.Ops[sp.opIdx]
 		userInstr += op.Instr
+		// The first op's lead-in compute is the parse/plan work of the
+		// statement; later ops carry their builder-assigned phase.
+		ph := op.Phase
+		if sp.opIdx == 0 {
+			ph = odb.PhaseParse
+		}
 		if m.prof != nil {
-			// The first op's lead-in compute is the parse/plan work of the
-			// statement; later ops carry their builder-assigned phase.
-			ph := op.Phase
-			if sp.opIdx == 0 {
-				ph = odb.PhaseParse
-			}
 			m.userShares = addShare(m.userShares, profile.KindOf(sp.txn.Type), ph, op.Instr)
+		}
+		if ts != nil {
+			ts.AddInstr(ph, op.Instr)
 		}
 		switch op.Kind {
 		case odb.OpRead, odb.OpWrite:
@@ -442,6 +465,9 @@ loop:
 					sp.opIdx++
 					wait := sim.Time(m.rng.Exp(t.BusyWaitMS) * m.cyclesPerMS)
 					m.eng.After(wait, sp.wake)
+					if ts != nil {
+						ts.SetBlock(txtrace.KindBusyWait, 0)
+					}
 					blocked = true
 					break loop
 				}
@@ -462,12 +488,21 @@ loop:
 					if m.prof != nil {
 						m.osShares = addShare(m.osShares, profile.KindOf(sp.txn.Type), odb.PhaseSyscall, t.IOIssueInstr)
 					}
+					if ts != nil {
+						ts.AddInstr(odb.PhaseSyscall, t.IOIssueInstr)
+					}
 					m.disks.Read(uint64(block), func() { m.readDone(block) })
 				} else {
 					osInstr += 2000 // buffer-wait path; the read is in flight
 					if m.prof != nil {
 						m.osShares = addShare(m.osShares, profile.KindOf(sp.txn.Type), odb.PhaseSyscall, 2000)
 					}
+					if ts != nil {
+						ts.AddInstr(odb.PhaseSyscall, 2000)
+					}
+				}
+				if ts != nil {
+					ts.SetBlock(txtrace.KindIOWait, 0)
 				}
 				blocked = true
 				break loop
@@ -479,6 +514,10 @@ loop:
 				if m.prof != nil {
 					m.osShares = addShare(m.osShares, profile.KindOf(sp.txn.Type), odb.PhaseLock, 2000)
 				}
+				if ts != nil {
+					ts.AddInstr(odb.PhaseLock, 2000)
+					ts.SetBlock(txtrace.KindLockWait, uint8(op.Res.Class))
+				}
 				blocked = true
 				break loop
 			}
@@ -489,6 +528,9 @@ loop:
 			osInstr += t.LogInstrPerKB * uint64(kb)
 			if m.prof != nil {
 				m.osShares = addShare(m.osShares, profile.KindOf(sp.txn.Type), odb.PhaseLogCommit, t.LogInstrPerKB*uint64(kb))
+			}
+			if ts != nil {
+				ts.AddInstr(odb.PhaseLogCommit, t.LogInstrPerKB*uint64(kb))
 			}
 			m.disks.LogWrite(1, nil)
 			if m.measuring {
@@ -502,6 +544,11 @@ loop:
 				us := float64(m.eng.Now()-sp.startAt) * 1e3 / m.cyclesPerMS
 				m.rec.ObserveSpan(sp.txn.Type.String(), uint64(us))
 			}
+			if ts != nil {
+				// Same latency window as the recorder: both endpoints are
+				// chunk start times, the commit chunk's cycles excluded.
+				m.spans.End(ts, m.eng.Now(), m.measuring)
+			}
 			m.commit()
 			m.gen.Recycle(sp.txn)
 			sp.txn = nil
@@ -513,6 +560,9 @@ loop:
 
 	cycles := m.price(cpuID, p.ID, userInstr, osInstr, blocks)
 	sp.blocksBuf = blocks[:0] // price consumed the list synchronously
+	if ts != nil {
+		ts.EndChunk(m.eng.Now(), cycles, userInstr+osInstr)
+	}
 	return osker.Outcome{Cycles: cycles, Instr: userInstr + osInstr, Block: blocked}
 }
 

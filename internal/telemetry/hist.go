@@ -115,10 +115,21 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile estimates the q-quantile (0 <= q <= 1) as the midpoint of
 // the bucket holding the q-th observation, clamped to the observed
-// min/max. Empty histograms return 0.
+// min/max. Empty histograms and NaN quantiles return 0; callers that
+// need to distinguish "no data" from a true zero use QuantileOK.
 func (h *Histogram) Quantile(q float64) float64 {
-	if h.count == 0 {
-		return 0
+	v, _ := h.QuantileOK(q)
+	return v
+}
+
+// QuantileOK is Quantile with an explicit validity report: ok is false
+// — and the value 0 — when the histogram is empty or q is NaN, so
+// formatting call sites can print a placeholder instead of garbage.
+// (A NaN q slips through plain min/max clamps: every comparison with
+// NaN is false, and converting NaN*count to a rank is unspecified.)
+func (h *Histogram) QuantileOK(q float64) (float64, bool) {
+	if h.count == 0 || math.IsNaN(q) {
+		return 0, false
 	}
 	if q < 0 {
 		q = 0
@@ -145,10 +156,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 			if mid > h.max {
 				mid = h.max
 			}
-			return float64(mid)
+			return float64(mid), true
 		}
 	}
-	return float64(h.max)
+	return float64(h.max), true
 }
 
 // Merge adds other's observations into h. Merging is associative and

@@ -102,6 +102,27 @@ func TestQuantileEdge(t *testing.T) {
 	}
 }
 
+// TestQuantileOK pins the guarded variant: an empty histogram and a NaN
+// rank both report ok=false (NaN comparisons are all false, so it would
+// otherwise slip past the rank clamps), and valid lookups report the
+// same value as Quantile with ok=true.
+func TestQuantileOK(t *testing.T) {
+	var h Histogram
+	if v, ok := h.QuantileOK(0.5); ok || v != 0 {
+		t.Errorf("empty QuantileOK = %f, %v; want 0, false", v, ok)
+	}
+	h.Observe(42)
+	if v, ok := h.QuantileOK(math.NaN()); ok || v != 0 {
+		t.Errorf("NaN QuantileOK = %f, %v; want 0, false", v, ok)
+	}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		v, ok := h.QuantileOK(q)
+		if !ok || v != h.Quantile(q) {
+			t.Errorf("QuantileOK(%.1f) = %f, %v; want %f, true", q, v, ok, h.Quantile(q))
+		}
+	}
+}
+
 // randomHist builds a histogram of n observations drawn from rng with a
 // heavy-tailed spread across many octaves.
 func randomHist(rng *rand.Rand, n int) *Histogram {

@@ -22,14 +22,19 @@ type LatencySummary struct {
 	Encoded []byte `json:"encoded,omitempty"`
 }
 
-// Summarize digests a histogram.
+// Summarize digests a histogram. Quantiles of an empty histogram
+// report 0 (QuantileOK keeps the zero distinguishable from data at the
+// call sites that need it; the digest's Count already disambiguates).
 func Summarize(h *Histogram, encoded bool) LatencySummary {
+	p50, _ := h.QuantileOK(0.50)
+	p95, _ := h.QuantileOK(0.95)
+	p99, _ := h.QuantileOK(0.99)
 	s := LatencySummary{
 		Count:  h.Count(),
 		MeanUS: h.Mean(),
-		P50US:  h.Quantile(0.50),
-		P95US:  h.Quantile(0.95),
-		P99US:  h.Quantile(0.99),
+		P50US:  p50,
+		P95US:  p95,
+		P99US:  p99,
 		MinUS:  h.Min(),
 		MaxUS:  h.Max(),
 	}
@@ -110,9 +115,13 @@ func (o *omWriter) quantiles(name, help string, byType map[string]*Histogram) {
 		h := byType[t]
 		for _, q := range []struct {
 			label string
-			v     float64
-		}{{"0.5", h.Quantile(0.50)}, {"0.95", h.Quantile(0.95)}, {"0.99", h.Quantile(0.99)}} {
-			o.printf("%s{txn_type=%q,quantile=%q} %g\n", name, t, q.label, q.v)
+			q     float64
+		}{{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}} {
+			// Empty histograms carry no quantile; OpenMetrics has no NaN,
+			// so the sample is omitted rather than formatted as garbage.
+			if v, ok := h.QuantileOK(q.q); ok {
+				o.printf("%s{txn_type=%q,quantile=%q} %g\n", name, t, q.label, v)
+			}
 		}
 	}
 }

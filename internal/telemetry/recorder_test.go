@@ -26,6 +26,32 @@ func TestTimelineRing(t *testing.T) {
 	}
 }
 
+// TestTimelineWraparound pushes far past the ring capacity — several
+// full wraps — and checks the ring keeps exactly the newest samples
+// with a monotone simulated-time axis and an exact dropped count.
+func TestTimelineWraparound(t *testing.T) {
+	const cap, pushes = 4, 23
+	r := NewRecorder(Config{RingCap: cap})
+	for i := 0; i < pushes; i++ {
+		r.PushSample(Sample{SimSeconds: float64(i), Txns: uint64(i)})
+	}
+	if got := r.TimelineDropped(); got != pushes-cap {
+		t.Fatalf("dropped = %d, want %d", got, pushes-cap)
+	}
+	got := r.Timeline()
+	if len(got) != cap {
+		t.Fatalf("retained %d samples, want %d", len(got), cap)
+	}
+	for i, s := range got {
+		if want := float64(pushes - cap + i); s.SimSeconds != want {
+			t.Fatalf("sample %d has t=%f, want %f (newest %d, oldest-first)", i, s.SimSeconds, want, cap)
+		}
+		if i > 0 && got[i].SimSeconds <= got[i-1].SimSeconds {
+			t.Fatalf("sim-time axis not monotone at %d: %f after %f", i, got[i].SimSeconds, got[i-1].SimSeconds)
+		}
+	}
+}
+
 func TestRecorderLifecycle(t *testing.T) {
 	r := NewRecorder(Config{SampleIntervalMS: 10, RingCap: 100})
 	if r.Interval() != 10 {

@@ -1,0 +1,113 @@
+package txtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"odbscale/internal/odb"
+	"odbscale/internal/sim"
+)
+
+// chromeEvent is one Trace Event Format record (the JSON loaded by
+// about:tracing and Perfetto). Durations use complete events (ph "X");
+// thread metadata uses ph "M".
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// usPerCycle returns simulated microseconds per cycle.
+func (d *Dump) usPerCycle() float64 {
+	if d.Meta.FreqHz <= 0 {
+		return 1
+	}
+	return 1e6 / d.Meta.FreqHz
+}
+
+// segName labels a segment for the trace viewer.
+func segName(s *Segment) string {
+	if s.Kind == KindLockWait && int(s.Class) < odb.NumLockClasses {
+		return "lock:" + odb.LockClass(s.Class).String()
+	}
+	return s.Kind.String()
+}
+
+// WriteChromeTrace exports the retained traces in Chrome trace-event
+// JSON. Timestamps are simulated microseconds; each server process is a
+// thread, every sampled transaction is an enclosing slice with its
+// segments nested inside it.
+func (d *Dump) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(d.Traces)*8)
+	us := d.usPerCycle()
+
+	seenProc := map[int]bool{}
+	for i := range d.Traces {
+		tr := &d.Traces[i]
+		if !seenProc[tr.Proc] {
+			seenProc[tr.Proc] = true
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: tr.Proc,
+				Args: map[string]any{"name": fmt.Sprintf("server proc %d", tr.Proc)},
+			})
+		}
+		b := tr.Breakdown()
+		cpu, lock, ioW, busy, queue, other := shares(&b, tr.Latency)
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("%s#%d", tr.Name, tr.Seq),
+			Cat:  "txn", Ph: "X",
+			TS: float64(tr.Start) * us, Dur: float64(tr.Latency) * us,
+			PID: 1, TID: tr.Proc,
+			Args: map[string]any{
+				"seq": tr.Seq, "latency_cycles": tr.Latency,
+				"cpu_share": cpu, "lock_share": lock, "io_share": ioW,
+				"busy_share": busy, "queue_share": queue, "other_share": other,
+			},
+		})
+		for j := range tr.Segs {
+			s := &tr.Segs[j]
+			if s.Dur == 0 {
+				continue
+			}
+			ev := chromeEvent{
+				Name: segName(s), Cat: "seg", Ph: "X",
+				TS: float64(s.Start) * us, Dur: float64(s.Dur) * us,
+				PID: 1, TID: tr.Proc,
+			}
+			if s.Kind == KindCPU {
+				args := make(map[string]any, 2)
+				args["instr"] = s.Instr
+				var attributed sim.Time
+				for p, c := range s.Phases {
+					if c > 0 {
+						args["cycles_"+odb.Phase(p).String()] = c
+						attributed += c
+					}
+				}
+				if rem := s.Dur - attributed; rem > 0 {
+					args["cycles_other"] = rem
+				}
+				ev.Args = args
+			}
+			events = append(events, ev)
+		}
+	}
+
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+		Metadata        Meta          `json:"metadata"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms", Metadata: d.Meta}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("txtrace: encoding chrome trace: %w", err)
+	}
+	return nil
+}

@@ -44,6 +44,7 @@ import (
 	"odbscale/internal/stats"
 	"odbscale/internal/system"
 	"odbscale/internal/telemetry"
+	"odbscale/internal/txtrace"
 	"odbscale/internal/xrand"
 )
 
@@ -92,6 +93,12 @@ func WithEMON(cfg EMONConfig, results *[]EMONResult) Option {
 // WithProfiler feeds the cycle-attribution profiler during the run.
 func WithProfiler(prof *ProfileCollector) Option { return system.WithProfiler(prof) }
 
+// WithSpans feeds the per-transaction span tracer during the run: a
+// deterministic sample of transactions (head sampling plus the K
+// slowest per type) is retained as span trees whose wait-state
+// decomposition sums exactly to each transaction's measured latency.
+func WithSpans(tr *SpanTracer) Option { return system.WithSpans(tr) }
+
 // RunContext executes one configuration, honouring the context.
 //
 // Deprecated: RunContext is Run(ctx, cfg); use Run.
@@ -111,6 +118,15 @@ type (
 	ProfileCollector = profile.Collector
 	// Profile is a finalized cycle-attribution profile.
 	Profile = profile.Profile
+	// SpanTracer retains sampled per-transaction span trees during a
+	// run.
+	SpanTracer = txtrace.Tracer
+	// SpanConfig parameterizes span sampling (head rate, head capacity,
+	// tail reservoir size).
+	SpanConfig = txtrace.Config
+	// SpanDump is a tracer's serializable snapshot: run identity,
+	// per-type wait-state aggregates, and the retained traces.
+	SpanDump = txtrace.Dump
 )
 
 // NewRecorder builds a flight recorder for WithRecorder.
@@ -119,6 +135,10 @@ func NewRecorder(cfg RecorderConfig) *Recorder { return telemetry.NewRecorder(cf
 // NewProfileCollector builds a collector for WithProfiler; read the
 // profile with its Profile method after the run.
 func NewProfileCollector() *ProfileCollector { return profile.NewCollector() }
+
+// NewSpanTracer builds a span tracer for WithSpans; snapshot the
+// retained traces with its Dump method after the run.
+func NewSpanTracer(cfg SpanConfig) *SpanTracer { return txtrace.NewTracer(cfg) }
 
 // Sentinel configuration errors, matched with errors.Is.
 var (
