@@ -7,6 +7,7 @@
 // Usage:
 //
 //	odbbench [-count 5] [-out BENCH_head.json] [-note "..."] [-run regexp]
+//	         [-engine btree|lsm]
 //	odbbench -compare BENCH_baseline.json BENCH_head.json [-maxregress 0.10]
 //
 // The compare mode exits 1 when any benchmark's wall time regressed by
@@ -23,9 +24,11 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	"odbscale/internal/engine"
 	"odbscale/internal/odb"
 	"odbscale/internal/sim"
 	"odbscale/internal/system"
@@ -53,11 +56,16 @@ type File struct {
 	Results   []Result `json:"results"`
 }
 
+// engineName selects the storage engine of the full-run benchmarks;
+// the -engine flag sets it before the suite runs.
+var engineName = engine.DefaultName
+
 // fullRunConfig builds the standard full-run benchmark configuration.
 func fullRunConfig(w, p, txns int) system.Config {
 	cfg := system.DefaultConfig(w, system.HeuristicClients(w, p), p)
 	cfg.MeasureTxns = txns
 	cfg.WarmupTxns = 300
+	cfg.Engine = engineName
 	return cfg
 }
 
@@ -215,9 +223,17 @@ func main() {
 	out := flag.String("out", "", "write results to this JSON file")
 	note := flag.String("note", "", "free-form provenance note stored in the file")
 	runFilter := flag.String("run", "", "regexp selecting benchmarks to run")
+	engineFlag := flag.String("engine", engine.DefaultName,
+		fmt.Sprintf("storage engine for the full-run benchmarks: %s", strings.Join(engine.Names(), " or ")))
 	cmp := flag.String("compare", "", "baseline JSON; compare against the head file argument instead of measuring")
 	maxRegress := flag.Float64("maxregress", 0.10, "fail when ns/op regresses beyond this fraction")
 	flag.Parse()
+
+	if _, ok := engine.Lookup(*engineFlag); !ok {
+		fmt.Fprintf(os.Stderr, "odbbench: unknown engine %q (have %s)\n", *engineFlag, strings.Join(engine.Names(), ", "))
+		os.Exit(2)
+	}
+	engineName = *engineFlag
 
 	if *cmp != "" {
 		if flag.NArg() != 1 {

@@ -18,9 +18,9 @@
 // Usage:
 //
 //	odbrun [-w warehouses] [-c clients] [-p processors] [-seed n]
-//	       [-machine xeon|itanium2] [-txns n] [-nocoherence]
-//	       [-json] [-listen addr] [-timeline file] [-sample ms]
-//	       [-spans file] [-spanhead n]
+//	       [-machine xeon|itanium2] [-engine btree|lsm] [-txns n]
+//	       [-nocoherence] [-json] [-listen addr] [-timeline file]
+//	       [-sample ms] [-spans file] [-spanhead n]
 package main
 
 import (
@@ -31,9 +31,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"odbscale/cmd/internal/live"
+	"odbscale/internal/engine"
 	"odbscale/internal/system"
 	"odbscale/internal/telemetry"
 	"odbscale/internal/txtrace"
@@ -63,6 +65,10 @@ func main() {
 	p := flag.Int("p", 4, "processors")
 	seed := flag.Int64("seed", 1, "random seed")
 	machine := flag.String("machine", "xeon", "platform: xeon or itanium2")
+	engineName := flag.String("engine", engine.DefaultName,
+		fmt.Sprintf("storage engine: %s", strings.Join(engine.Names(), " or ")))
+	lsmMem := flag.Int("lsmmem", engine.DefaultLSMTuning().MemtableMB,
+		"LSM memtable size in MB (ignored by btree)")
 	txns := flag.Int("txns", 2400, "measured transactions")
 	nocoh := flag.Bool("nocoherence", false, "disable MESI coherence")
 	jsonOut := flag.Bool("json", false, "emit the run manifest, metrics and latency digests as JSON")
@@ -77,6 +83,14 @@ func main() {
 	cfg.Seed = *seed
 	cfg.MeasureTxns = *txns
 	cfg.Coherent = !*nocoh
+	if _, ok := engine.Lookup(*engineName); !ok {
+		log.Fatalf("unknown engine %q (have %s)", *engineName, strings.Join(engine.Names(), ", "))
+	}
+	cfg.Engine = *engineName
+	if *lsmMem < 1 {
+		log.Fatalf("-lsmmem %d: memtable must be at least 1 MB", *lsmMem)
+	}
+	cfg.Tuning.LSM.MemtableMB = *lsmMem
 	switch *machine {
 	case "xeon":
 	case "itanium2":
@@ -145,6 +159,7 @@ func main() {
 
 	if *jsonOut {
 		man := telemetry.NewManifest("odbrun", *seed)
+		man.Engine = m.Engine
 		man.CreatedAt = started.UTC().Format(time.RFC3339)
 		man.WallSeconds = wall.Seconds()
 		man.Phases = rec.Phases()
@@ -166,6 +181,8 @@ func main() {
 		fmt.Printf("  io:   read=%.1fKB write=%.1fKB log=%.1fKB hit=%.3f diskUtil=%.2f lat=%.1fms\n",
 			m.ReadKBPerTxn, m.WriteKBPerTxn, m.LogKBPerTxn, m.BufferHitRatio, m.DiskUtil, m.ReadLatencyMS)
 		fmt.Printf("  bus:  time=%.0f util=%.2f coherShare=%.4f\n", m.BusTime, m.BusUtil, m.CoherenceShare)
+		fmt.Printf("  engine: %s wamp=%.2f ramp=%.2f samp=%.3f stalls=%.3f/txn\n",
+			m.Engine, m.WriteAmp, m.ReadAmp, m.SpaceAmp, m.WriteStallsPerTxn)
 		fmt.Printf("  cpi breakdown: %s\n", m.Breakdown)
 		fmt.Printf("  iron law check: P*F/(IPX*CPI)*util = %.0f TPS (measured %.0f)\n",
 			float64(m.Processors)*cfg.Machine.FreqHz/(m.IPX*m.CPI)*m.CPUUtil, m.TPS)

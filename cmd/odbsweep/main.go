@@ -52,6 +52,7 @@ import (
 
 	"odbscale/cmd/internal/live"
 	"odbscale/internal/campaign"
+	"odbscale/internal/engine"
 	"odbscale/internal/experiment"
 	"odbscale/internal/profile"
 	"odbscale/internal/system"
@@ -94,6 +95,8 @@ func main() {
 	tuneTxns := flag.Int("tunetxns", 1200, "measured transactions per tuner probe")
 	seed := flag.Int64("seed", 1, "random seed")
 	machine := flag.String("machine", "xeon", "platform: xeon or itanium2")
+	engineName := flag.String("engine", engine.DefaultName,
+		fmt.Sprintf("storage engine: %s", strings.Join(engine.Names(), " or ")))
 	par := flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: completed points persist here after every run")
 	resume := flag.Bool("resume", false, "resume from -checkpoint, re-executing only incomplete points")
@@ -110,6 +113,10 @@ func main() {
 
 	o := experiment.Defaults()
 	o.Seed = *seed
+	if _, ok := engine.Lookup(*engineName); !ok {
+		log.Fatalf("unknown engine %q (have %s)", *engineName, strings.Join(engine.Names(), ", "))
+	}
+	o.Engine = *engineName
 	o.MeasureTxns = *txns
 	o.TuneTxns = *tuneTxns
 	o.AutoTune = *clients == 0 && !*heuristic
@@ -191,7 +198,7 @@ func main() {
 	}
 
 	if *csv {
-		fmt.Println("w,p,c,tps,ipx,useripx,osipx,cpi,usercpi,oscpi,mpi,usermpi,osmpi,util,osshare,readkb,writekb,logkb,ctxsw,bustime,busutil,cohershare,bufferhit,diskutil")
+		fmt.Println("w,p,c,engine,tps,ipx,useripx,osipx,cpi,usercpi,oscpi,mpi,usermpi,osmpi,util,osshare,readkb,writekb,logkb,ctxsw,bustime,busutil,cohershare,bufferhit,diskutil,writeamp,readamp,spaceamp,writestalls")
 	}
 	enc := json.NewEncoder(os.Stdout)
 	for _, p := range processors {
@@ -202,11 +209,12 @@ func main() {
 					log.Fatal(err)
 				}
 			case *csv:
-				fmt.Printf("%d,%d,%d,%.1f,%.0f,%.0f,%.0f,%.3f,%.3f,%.3f,%.5f,%.5f,%.5f,%.3f,%.3f,%.2f,%.2f,%.2f,%.2f,%.1f,%.3f,%.4f,%.4f,%.3f\n",
-					m.Warehouses, m.Processors, m.Clients, m.TPS, m.IPX, m.UserIPX, m.OSIPX,
+				fmt.Printf("%d,%d,%d,%s,%.1f,%.0f,%.0f,%.0f,%.3f,%.3f,%.3f,%.5f,%.5f,%.5f,%.3f,%.3f,%.2f,%.2f,%.2f,%.2f,%.1f,%.3f,%.4f,%.4f,%.3f,%.3f,%.3f,%.3f,%.4f\n",
+					m.Warehouses, m.Processors, m.Clients, m.Engine, m.TPS, m.IPX, m.UserIPX, m.OSIPX,
 					m.CPI, m.UserCPI, m.OSCPI, m.MPI, m.UserMPI, m.OSMPI, m.CPUUtil, m.OSShare,
 					m.ReadKBPerTxn, m.WriteKBPerTxn, m.LogKBPerTxn, m.CtxSwitchPerTxn,
-					m.BusTime, m.BusUtil, m.CoherenceShare, m.BufferHitRatio, m.DiskUtil)
+					m.BusTime, m.BusUtil, m.CoherenceShare, m.BufferHitRatio, m.DiskUtil,
+					m.WriteAmp, m.ReadAmp, m.SpaceAmp, m.WriteStallsPerTxn)
 			default:
 				fmt.Println(m)
 			}

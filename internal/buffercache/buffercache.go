@@ -117,6 +117,17 @@ func (c *Cache) lruPushFront(e *Entry) {
 	}
 }
 
+func (c *Cache) lruPushBack(e *Entry) {
+	e.prev, e.next = c.tail, nil
+	if c.tail != nil {
+		c.tail.next = e
+	}
+	c.tail = e
+	if c.head == nil {
+		c.head = e
+	}
+}
+
 // --- dirty list (append new at head; tail is the oldest) ---
 
 func (c *Cache) dirtyRemove(e *Entry) {
@@ -193,6 +204,22 @@ type Evicted struct {
 // incoming block, so a warmed-up cache installs without allocating. The
 // victim's payload page (if any) is handed off in Evicted, never reused.
 func (c *Cache) Install(id BlockID) (*Entry, Evicted) {
+	return c.install(id, false)
+}
+
+// InstallScan inserts a block read by a sequential scan — a stock-level
+// sweep, an engine's compaction pass — at the cold (LRU) end of the
+// chain instead of the MRU position, the midpoint/NOCACHE discipline
+// real servers apply to large scans. One-touch scan blocks then become
+// the next victims and churn among themselves, so a scan longer than
+// the cache cannot flush the transactional working set; a block the
+// workload re-reads is promoted to MRU by the Lookup hit as usual.
+// Everything else (pinning, eviction, entry pooling) matches Install.
+func (c *Cache) InstallScan(id BlockID) (*Entry, Evicted) {
+	return c.install(id, true)
+}
+
+func (c *Cache) install(id BlockID, scan bool) (*Entry, Evicted) {
 	if _, ok := c.table[id]; ok {
 		panic(fmt.Sprintf("buffercache: Install of resident block %d", id))
 	}
@@ -231,7 +258,11 @@ func (c *Cache) Install(id BlockID) (*Entry, Evicted) {
 		e.Data = make([]byte, c.cfg.BlockSize)
 	}
 	c.table[id] = e
-	c.lruPushFront(e)
+	if scan {
+		c.lruPushBack(e)
+	} else {
+		c.lruPushFront(e)
+	}
 	c.size++
 	return e, ev
 }

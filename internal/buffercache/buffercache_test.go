@@ -298,3 +298,137 @@ func TestResetStatsPreservesContents(t *testing.T) {
 		c.Release(e)
 	}
 }
+
+// --- scan resistance ---
+
+// warmHotSet installs blocks [0, n) and touches each a few times so they
+// sit at the warm end of the LRU chain.
+func warmHotSet(c *Cache, n int) {
+	for i := 0; i < n; i++ {
+		e, _ := c.Install(BlockID(i))
+		c.Release(e)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < n; i++ {
+			e := c.Lookup(BlockID(i))
+			if e == nil {
+				panic("hot block missing during warm-up")
+			}
+			c.Release(e)
+		}
+	}
+}
+
+// TestInstallScanPreservesHotSet is the scan-resistance guarantee: a
+// sequential scan several times the cache size, installed with
+// InstallScan, must not evict any member of the transactional hot set.
+func TestInstallScanPreservesHotSet(t *testing.T) {
+	const hot, capacity = 32, 64
+	c := newTest(capacity)
+	warmHotSet(c, hot)
+	// A compaction-style sweep 8x the cache size in mixed mode: hot
+	// lookups interleave with the scan's one-touch installs.
+	for i := 0; i < 8*capacity; i++ {
+		e, _ := c.InstallScan(BlockID(10_000 + i))
+		c.Release(e)
+		if i%7 == 0 { // the OLTP side keeps running
+			h := c.Lookup(BlockID(i % hot))
+			if h == nil {
+				t.Fatalf("hot block %d evicted mid-scan after %d scan installs", i%hot, i+1)
+			}
+			c.Release(h)
+		}
+	}
+	for i := 0; i < hot; i++ {
+		e := c.Lookup(BlockID(i))
+		if e == nil {
+			t.Fatalf("hot block %d evicted by scan", i)
+		}
+		c.Release(e)
+	}
+}
+
+// TestPlainInstallHasNoScanResistance pins the contrast: the same sweep
+// through MRU-inserting Install flushes the hot set — which is exactly
+// why the scan path must use InstallScan.
+func TestPlainInstallHasNoScanResistance(t *testing.T) {
+	const hot, capacity = 32, 64
+	c := newTest(capacity)
+	warmHotSet(c, hot)
+	for i := 0; i < 8*capacity; i++ {
+		e, _ := c.Install(BlockID(10_000 + i))
+		c.Release(e)
+	}
+	for i := 0; i < hot; i++ {
+		if e := c.Lookup(BlockID(i)); e != nil {
+			c.Release(e)
+			t.Fatalf("hot block %d survived an MRU-inserted sweep 8x the cache", i)
+		}
+	}
+}
+
+// TestInstallScanChurnsAmongItself checks the victims of a long scan are
+// the scan's own earlier blocks, not the warm set: cold-end insertion
+// makes the scan self-evicting.
+func TestInstallScanChurnsAmongItself(t *testing.T) {
+	const hot, capacity = 32, 64
+	c := newTest(capacity)
+	warmHotSet(c, hot)
+	fill := capacity - hot // cold slots available before eviction starts
+	for i := 0; i < 4*capacity; i++ {
+		e, ev := c.InstallScan(BlockID(10_000 + i))
+		c.Release(e)
+		if i >= fill {
+			if !ev.Valid {
+				t.Fatalf("scan install %d evicted nothing with a full cache", i)
+			}
+			if ev.ID < 10_000 {
+				t.Fatalf("scan install %d evicted workload block %d", i, ev.ID)
+			}
+		}
+	}
+}
+
+// TestScanBlockPromotedOnReRead: a scanned block the workload re-reads
+// is promoted to MRU by the hit and gains normal residence.
+func TestScanBlockPromotedOnReRead(t *testing.T) {
+	const capacity = 16
+	c := newTest(capacity)
+	e, _ := c.InstallScan(500)
+	c.Release(e)
+	// The workload touches the scanned block: promoted to MRU.
+	e = c.Lookup(500)
+	if e == nil {
+		t.Fatal("scanned block missing immediately after install")
+	}
+	c.Release(e)
+	// A follow-on scan as large as the cache cannot displace it now.
+	for i := 0; i < capacity; i++ {
+		s, _ := c.InstallScan(BlockID(600 + i))
+		c.Release(s)
+	}
+	if e = c.Lookup(500); e == nil {
+		t.Fatal("promoted block evicted by a subsequent scan")
+	}
+	c.Release(e)
+}
+
+// TestInstallScanDirtyEviction: dirty blocks displaced by a scan still
+// surface through Evicted so the caller writes them back — cold-end
+// insertion must not break the writeback contract.
+func TestInstallScanDirtyEviction(t *testing.T) {
+	c := newTest(2)
+	a, _ := c.Install(1)
+	c.MarkDirty(a)
+	c.Release(a)
+	b, _ := c.Install(2)
+	c.MarkDirty(b)
+	c.Release(b)
+	_, ev := c.InstallScan(3)
+	if !ev.Valid || !ev.Dirty {
+		t.Fatalf("dirty victim not reported: %+v", ev)
+	}
+	if got := c.Stats().Writebacks; got != 1 {
+		t.Fatalf("writebacks = %d, want 1", got)
+	}
+}

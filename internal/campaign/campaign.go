@@ -36,6 +36,10 @@ type Spec struct {
 	Tuning  system.Tuning
 	Seed    int64
 
+	// Engine names the storage engine every run executes on (see
+	// internal/engine's registry); empty means the default B-tree.
+	Engine string
+
 	WarmupTxns  int
 	MeasureTxns int
 	// TuneTxns is the (shorter) measurement length of tuner probes.
@@ -113,6 +117,7 @@ type Spec struct {
 func (s *Spec) fingerprint() Fingerprint {
 	return Fingerprint{
 		Machine:     s.Machine.Name,
+		Engine:      s.Engine,
 		Seed:        s.Seed,
 		WarmupTxns:  s.WarmupTxns,
 		MeasureTxns: s.MeasureTxns,
@@ -150,6 +155,7 @@ func (s *Spec) config(w, c, p, txns int) system.Config {
 		Clients:     c,
 		Processors:  p,
 		Seed:        s.Seed,
+		Engine:      s.Engine,
 		Machine:     s.Machine,
 		Tuning:      s.Tuning,
 		Coherent:    true,

@@ -29,6 +29,7 @@ var ErrCheckpointMismatch = errors.New("campaign: checkpoint does not match the 
 // axes are deliberately excluded so a resumed campaign may add points.
 type Fingerprint struct {
 	Machine     string  `json:"machine"`
+	Engine      string  `json:"engine,omitempty"`
 	Seed        int64   `json:"seed"`
 	WarmupTxns  int     `json:"warmup_txns"`
 	MeasureTxns int     `json:"measure_txns"`

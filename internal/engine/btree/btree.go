@@ -1,0 +1,105 @@
+// Package btree is the paper's storage engine re-homed behind the
+// StorageEngine boundary: heap rows and B-tree indexes on fixed
+// extents, updates in place through the buffer cache, and a DB-writer
+// that cleans aged dirty blocks in the background. Its behaviour is
+// pinned bit-identical to the pre-boundary system layer: the planner
+// reproduces the historical op streams and Maintain reproduces the
+// historical DB-writer activation, draw for draw.
+package btree
+
+import (
+	"odbscale/internal/engine"
+	"odbscale/internal/odb"
+	"odbscale/internal/sim"
+	"odbscale/internal/xrand"
+)
+
+func init() { engine.Register(factory{}) }
+
+type factory struct{}
+
+func (factory) Name() string { return "btree" }
+
+func (factory) New(env engine.Env) engine.Instance {
+	return &instance{
+		env:  env,
+		live: engine.LiveDataBlocks(env.Layout),
+	}
+}
+
+// instance is one B-tree engine bound to a machine.
+type instance struct {
+	env  engine.Env
+	live uint64
+	ctr  engine.Counters
+}
+
+func (in *instance) Name() string { return "btree" }
+
+// Planner wraps the odb B-tree planner with logical-volume counting.
+// It draws nothing from rng, so the generator's op streams stay
+// bit-identical to the pre-boundary generator.
+func (in *instance) Planner(rng *xrand.Rand) odb.AccessPlanner {
+	_ = rng
+	return &planner{in: in, bt: odb.NewBTreePlanner(in.env.Layout)}
+}
+
+type planner struct {
+	in *instance
+	bt *odb.BTreePlanner
+}
+
+func (p *planner) ReadRow(ops []odb.Op, t odb.TableID, ord uint64) []odb.Op {
+	p.in.ctr.LogicalReads++
+	return p.bt.ReadRow(ops, t, ord)
+}
+
+func (p *planner) WriteRow(ops []odb.Op, t odb.TableID, ord uint64, delta int64) []odb.Op {
+	p.in.ctr.LogicalWriteBytes += uint64(odb.RowBytes(t))
+	return p.bt.WriteRow(ops, t, ord, delta)
+}
+
+func (p *planner) IndexLookup(ops []odb.Op, idx odb.TableID, ord uint64) []odb.Op {
+	return p.bt.IndexLookup(ops, idx, ord)
+}
+
+// PrefillBlocks: the whole database image, heaps and indexes.
+func (in *instance) PrefillBlocks() (odb.BlockID, uint64) {
+	return 0, in.env.Layout.TotalBlocks()
+}
+
+// MemWrite never runs: the B-tree planner emits no OpMemWrite.
+func (in *instance) MemWrite(bytes int) sim.Time {
+	_ = bytes
+	return 0
+}
+
+// Maintain is the historical DB-writer activation: when the dirty pool
+// crosses the high-water mark, clean one batch of aged blocks.
+func (in *instance) Maintain(scratch []odb.BlockID) engine.MaintResult {
+	t := &in.env.Tuning
+	var osInstr uint64 = 2_000 // scan overhead
+	var blocks []odb.BlockID
+	dirtyTrigger := int(t.DirtyHighWater * float64(in.env.Cache.Capacity()))
+	if in.env.Cache.DirtyCount() > dirtyTrigger {
+		blocks = in.env.Cache.CleanAgedInto(scratch[:0], t.DBWriterBatch, t.DBWriterAgeGets)
+		for _, id := range blocks {
+			in.env.Disks.Write(uint64(id))
+		}
+		osInstr += uint64(len(blocks)) * t.DBWriterInstr
+		in.ctr.PhysicalWriteBytes += uint64(len(blocks)) * odb.BlockSize
+	}
+	return engine.MaintResult{OSInstr: osInstr, Phase: odb.PhaseSyscall, Blocks: blocks}
+}
+
+// Counters reports the period ledger; the footprint is the static
+// extent map, so space amplification is the index overhead over the
+// heaps.
+func (in *instance) Counters() engine.Counters {
+	c := in.ctr
+	c.DiskBlocks = in.env.Layout.TotalBlocks()
+	c.LiveBlocks = in.live
+	return c
+}
+
+func (in *instance) ResetStats() { in.ctr = engine.Counters{} }

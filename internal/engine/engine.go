@@ -1,0 +1,201 @@
+// Package engine defines the StorageEngine boundary: the contract
+// between the system layer (scheduler, buffer cache, disk array,
+// pricing) and a storage engine implementation (B-tree today, LSM
+// beside it). An engine owns four things:
+//
+//   - access planning: how a logical row read/write/index probe becomes
+//     an op-stream fragment (which blocks, which phases) — via
+//     odb.AccessPlanner;
+//   - the in-memory write path: OpMemWrite execution (memtable appends,
+//     write stalls when flushing falls behind);
+//   - background maintenance: the work one maintenance-process
+//     activation performs (DB-writer batch cleaning, memtable flushes,
+//     leveled compaction) expressed as simulated disk traffic plus an
+//     OS instruction bill for the system layer to price;
+//   - amplification accounting: logical vs physical read/write volumes
+//     and on-disk vs live footprint.
+//
+// The system layer stays engine-agnostic: it executes whatever ops the
+// planner emitted, activates Maintain on the maintenance timer, and
+// reads Counters at metrics time. Engines register themselves by name
+// in an init-time registry, so engine selection is a string in the run
+// configuration.
+package engine
+
+import (
+	"sort"
+
+	"odbscale/internal/buffercache"
+	"odbscale/internal/odb"
+	"odbscale/internal/sim"
+	"odbscale/internal/storage"
+	"odbscale/internal/xrand"
+)
+
+// Env is the simulated machinery an engine instance operates against.
+// The engine does not own any of it; the system layer wires the same
+// buffer cache and disk array it prices against.
+type Env struct {
+	Layout      *odb.Layout
+	Cache       *buffercache.Cache
+	Disks       *storage.Array
+	Sim         *sim.Engine
+	Rand        *xrand.Rand // engine-private stream; B-tree never draws from it
+	CyclesPerMS float64
+	Tuning      Tuning
+}
+
+// Tuning is the engine-relevant slice of the system tuning knobs. The
+// DB-writer fields reproduce the system layer's historical maintenance
+// parameters exactly; LSM holds the LSM engine's own knobs.
+type Tuning struct {
+	DBWriterBatch   int     // max blocks cleaned per activation
+	DirtyHighWater  float64 // dirty fraction that triggers cleaning
+	DBWriterAgeGets uint64  // age threshold for CleanAgedInto
+	DBWriterInstr   uint64  // OS instructions per block written back
+	LSM             LSMTuning
+}
+
+// LSMTuning parameterizes the LSM engine's shape and its background
+// bandwidth.
+type LSMTuning struct {
+	MemtableMB    int     // memtable capacity; also the size of one L0 run
+	Fanout        int     // level size ratio cap_{i+1}/cap_i
+	L0CompactRuns int     // L0 run count that triggers L0→L1 compaction
+	L0StallRuns   int     // L0 run count (incl. sealed memtables) that stalls writers
+	BloomFPRate   float64 // per-run bloom-filter false-positive rate on reads
+	ObsoleteFrac  float64 // fraction of compacted-in bytes that are overwrites
+	CompactBatch  int     // block units one maintenance activation processes
+	StallMS       float64 // writer throttle per stalled memtable append
+	KeyBytes      int     // per-row key + metadata overhead on memtable appends
+}
+
+// DefaultLSMTuning is a RocksDB-flavoured shape: 8 MB memtable, 10x
+// fanout, compaction at 4 L0 runs, delayed-write throttling at 8.
+func DefaultLSMTuning() LSMTuning {
+	return LSMTuning{
+		MemtableMB:    8,
+		Fanout:        10,
+		L0CompactRuns: 4,
+		L0StallRuns:   8,
+		BloomFPRate:   0.01,
+		ObsoleteFrac:  0.35,
+		CompactBatch:  512,
+		StallMS:       2.0,
+		KeyBytes:      24,
+	}
+}
+
+// Counters is the per-engine amplification ledger. All volumes are
+// engine-side: the system layer adds its own foreground contributions
+// (dirty-eviction writes, executed foreground reads) when it derives
+// the amplification metrics.
+type Counters struct {
+	LogicalReads       uint64 // rows the workload asked to read
+	LogicalWriteBytes  uint64 // row bytes the workload asked to write
+	PhysicalWriteBytes uint64 // bytes the engine wrote to disk (flush + compaction + writeback)
+	CompactReadBlocks  uint64 // blocks re-read as compaction input
+	DiskBlocks         uint64 // current on-disk footprint, blocks
+	LiveBlocks         uint64 // blocks needed for exactly one copy of the live data
+	WriteStalls        uint64 // writer throttles (memtable full while L0 backed up)
+	Flushes            uint64 // memtable flushes completed
+	Compactions        uint64 // compaction jobs completed
+}
+
+// SpaceAmp returns the on-disk footprint over the live data size.
+func (c Counters) SpaceAmp() float64 {
+	if c.LiveBlocks == 0 {
+		return 0
+	}
+	return float64(c.DiskBlocks) / float64(c.LiveBlocks)
+}
+
+// MaintResult is what one maintenance activation did: the OS
+// instruction bill for the system layer to price, the phase the work is
+// attributed to in the profiler, and the visited blocks for the
+// microarchitectural synthesizer (may alias the scratch passed to
+// Maintain; nil when the activation found nothing to do).
+type MaintResult struct {
+	OSInstr uint64
+	Phase   odb.Phase
+	Blocks  []odb.BlockID
+}
+
+// Instance is one constructed engine bound to a machine's Env.
+type Instance interface {
+	// Name returns the registered engine name.
+	Name() string
+	// Planner returns an access planner feeding this instance's logical
+	// counters. rng is the planner's private stream; planners that draw
+	// no randomness (B-tree) ignore it, so handing them a stream is
+	// free. Multiple planners may be live at once (the prefill sampler
+	// uses its own).
+	Planner(rng *xrand.Rand) odb.AccessPlanner
+	// PrefillBlocks is the extent holding the engine's initial on-disk
+	// data, for buffer-cache warming.
+	PrefillBlocks() (base odb.BlockID, n uint64)
+	// MemWrite executes an OpMemWrite of the given bytes and returns the
+	// writer throttle to apply (0 = proceed immediately).
+	MemWrite(bytes int) sim.Time
+	// Maintain performs one maintenance activation. scratch is a
+	// reusable block buffer the result's Blocks may alias.
+	Maintain(scratch []odb.BlockID) MaintResult
+	// Counters returns the amplification ledger for the current
+	// measurement period.
+	Counters() Counters
+	// ResetStats zeroes the period counters, preserving engine state.
+	ResetStats()
+}
+
+// Engine is a registered engine factory.
+type Engine interface {
+	Name() string
+	New(env Env) Instance
+}
+
+// DefaultName is the engine used when the configuration names none.
+const DefaultName = "btree"
+
+var registry = map[string]Engine{}
+
+// Register adds an engine to the registry; engine packages call it from
+// init. Re-registering a name panics — it is always a wiring bug.
+func Register(e Engine) {
+	if _, dup := registry[e.Name()]; dup {
+		panic("engine: duplicate registration: " + e.Name())
+	}
+	registry[e.Name()] = e
+}
+
+// Lookup resolves an engine by name; the empty string means the
+// default.
+func Lookup(name string) (Engine, bool) {
+	if name == "" {
+		name = DefaultName
+	}
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names returns the registered engine names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LiveDataBlocks returns the block count of exactly one copy of the
+// live heap data — the space-amplification denominator shared by all
+// engines. Index structures are engine overhead, not live data, so the
+// B-tree engine's space amplification reads as its index footprint over
+// the heaps.
+func LiveDataBlocks(l *odb.Layout) uint64 {
+	var n uint64
+	for t := odb.TableWarehouse; t <= odb.TableNewOrder; t++ {
+		n += l.Heap(t).Blocks()
+	}
+	return n
+}

@@ -1,0 +1,251 @@
+package lsm
+
+import (
+	"testing"
+
+	"odbscale/internal/buffercache"
+	"odbscale/internal/engine"
+	"odbscale/internal/odb"
+	"odbscale/internal/sim"
+	"odbscale/internal/storage"
+	"odbscale/internal/xrand"
+)
+
+// testEnv wires a small but real environment: a live sim engine, a disk
+// array and a buffer cache, so Maintain's disk traffic actually lands
+// somewhere.
+func testEnv(t *testing.T, warehouses int, lt engine.LSMTuning) engine.Env {
+	t.Helper()
+	eng := sim.New()
+	diskCfg := storage.DefaultConfig()
+	diskCfg.CyclesPerMS = 1.6e6
+	return engine.Env{
+		Layout:      odb.NewLayout(warehouses),
+		Cache:       buffercache.New(buffercache.Config{Blocks: 1024}),
+		Disks:       storage.New(diskCfg, eng, xrand.New(7).Split(2)),
+		Sim:         eng,
+		Rand:        xrand.New(7).Split(5),
+		CyclesPerMS: 1.6e6,
+		Tuning: engine.Tuning{
+			DBWriterBatch:   64,
+			DirtyHighWater:  0.002,
+			DBWriterAgeGets: 50_000,
+			DBWriterInstr:   9_000,
+			LSM:             lt,
+		},
+	}
+}
+
+// smallLSM is a shape that flushes and compacts quickly under test
+// drives: a 64 KB memtable and modest batches.
+func smallLSM() engine.LSMTuning {
+	lt := engine.DefaultLSMTuning()
+	lt.MemtableMB = 1
+	lt.CompactBatch = 256
+	return lt
+}
+
+// drain runs maintenance activations until the engine reports nothing
+// left to do (or the activation cap trips — a livelock guard).
+func drain(t *testing.T, in engine.Instance) {
+	t.Helper()
+	var scratch []odb.BlockID
+	for i := 0; i < 100_000; i++ {
+		res := in.Maintain(scratch)
+		if res.Blocks == nil {
+			return
+		}
+		scratch = res.Blocks
+	}
+	t.Fatal("maintenance never drained")
+}
+
+// TestWriteAmplification drives enough logical bytes through the
+// memtable to force flushes and compactions and checks the physical
+// write volume is a growing multiple of the logical volume.
+func TestWriteAmplification(t *testing.T) {
+	lt := smallLSM()
+	in := newInstance(testEnv(t, 2, lt))
+	const rowBytes = 320
+	var logical uint64
+	// Push ~24 memtables' worth so L0 compacts several times.
+	target := uint64(24) * in.memCap
+	for logical < target {
+		in.MemWrite(rowBytes + lt.KeyBytes)
+		in.ctr.LogicalWriteBytes += rowBytes
+		logical += rowBytes
+		if in.sealed > 0 {
+			drain(t, in)
+		}
+	}
+	drain(t, in)
+	c := in.Counters()
+	if c.Flushes == 0 || c.Compactions == 0 {
+		t.Fatalf("expected flushes and compactions, got %d / %d", c.Flushes, c.Compactions)
+	}
+	wamp := float64(c.PhysicalWriteBytes) / float64(c.LogicalWriteBytes)
+	if wamp <= 1 {
+		t.Fatalf("write amplification %.2f, want > 1 (phys=%d logical=%d)",
+			wamp, c.PhysicalWriteBytes, c.LogicalWriteBytes)
+	}
+	t.Logf("levels=%d write-amp=%.2f flushes=%d compactions=%d", in.Levels(), wamp, c.Flushes, c.Compactions)
+}
+
+// TestWriteAmpGrowsWithLevels compares two databases whose live sizes
+// differ by an order of magnitude (so their level hierarchies differ in
+// depth) under the same *relative* churn — each absorbs updates worth a
+// quarter of its live bytes. Every logical byte in the deeper hierarchy
+// migrates through more levels, so it must amplify writes more.
+func TestWriteAmpGrowsWithLevels(t *testing.T) {
+	lt := smallLSM()
+	run := func(warehouses int) (levels int, wamp float64) {
+		in := newInstance(testEnv(t, warehouses, lt))
+		const rowBytes = 320
+		var logical uint64
+		target := in.liveBytes / 4
+		for logical < target {
+			in.MemWrite(rowBytes + lt.KeyBytes)
+			in.ctr.LogicalWriteBytes += rowBytes
+			logical += rowBytes
+			if in.sealed > 0 {
+				drain(t, in)
+			}
+		}
+		drain(t, in)
+		c := in.Counters()
+		return in.Levels(), float64(c.PhysicalWriteBytes) / float64(c.LogicalWriteBytes)
+	}
+	shallowLevels, shallowAmp := run(1)
+	deepLevels, deepAmp := run(8)
+	if deepLevels <= shallowLevels {
+		t.Fatalf("level depth did not grow: %d vs %d", shallowLevels, deepLevels)
+	}
+	if deepAmp <= shallowAmp {
+		t.Fatalf("write-amp did not grow with level count: %.2f (levels=%d) vs %.2f (levels=%d)",
+			shallowAmp, shallowLevels, deepAmp, deepLevels)
+	}
+	t.Logf("write-amp %.2f @ %d levels -> %.2f @ %d levels", shallowAmp, shallowLevels, deepAmp, deepLevels)
+}
+
+// TestWriteStallsUnderL0Pressure starves maintenance so L0 backs up and
+// checks that appends start returning non-zero throttles.
+func TestWriteStallsUnderL0Pressure(t *testing.T) {
+	lt := smallLSM()
+	in := newInstance(testEnv(t, 1, lt))
+	var stallTime sim.Time
+	// No Maintain calls at all: sealed memtables pile up.
+	for i := 0; i < int(in.memCap); i += 256 {
+		stallTime += in.MemWrite(256 + lt.KeyBytes)
+	}
+	for s := 0; s < lt.L0StallRuns+2; s++ {
+		for i := uint64(0); i < in.memCap; i += 256 {
+			stallTime += in.MemWrite(256 + lt.KeyBytes)
+		}
+	}
+	c := in.Counters()
+	if c.WriteStalls == 0 || stallTime == 0 {
+		t.Fatalf("no write stalls under L0 pressure (stalls=%d time=%d)", c.WriteStalls, stallTime)
+	}
+	// Maintenance drains the backlog and the stalls stop.
+	drain(t, in)
+	if got := in.MemWrite(256); got != 0 {
+		t.Fatalf("still stalled after maintenance drained L0: %d", got)
+	}
+}
+
+// TestPlannerDeterminism: identical rng seeds must plan identical op
+// streams, state evolution included.
+func TestPlannerDeterminism(t *testing.T) {
+	lt := smallLSM()
+	runOnce := func() []odb.Op {
+		in := newInstance(testEnv(t, 2, lt))
+		p := in.Planner(xrand.New(99).Split(6))
+		var ops []odb.Op
+		for i := uint64(0); i < 4000; i++ {
+			ops = p.ReadRow(ops, odb.TableCustomer, i%100)
+			ops = p.WriteRow(ops, odb.TableStock, i%500, int64(i))
+			if in.sealed > 0 {
+				drain(t, in)
+			}
+		}
+		return ops
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatalf("op stream lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestReadPlansProbeRuns checks the read path's shape: reads resolve in
+// the memtable (compute only) or in a run/level (buffer-cache read),
+// and bloom false positives add extra probes but never change the
+// terminal read.
+func TestReadPlansProbeRuns(t *testing.T) {
+	lt := smallLSM()
+	in := newInstance(testEnv(t, 1, lt))
+	p := in.Planner(xrand.New(3).Split(6))
+	var memHits, blockReads int
+	var ops []odb.Op
+	for i := uint64(0); i < 2000; i++ {
+		ops = p.ReadRow(ops[:0], odb.TableCustomer, i%1000)
+		sawRead := false
+		for _, op := range ops {
+			switch op.Kind {
+			case odb.OpCompute:
+				if op.Phase != odb.PhaseMemtable {
+					t.Fatalf("compute op outside memtable phase: %+v", op)
+				}
+			case odb.OpRead:
+				if op.Phase != odb.PhaseBuffer {
+					t.Fatalf("read op outside buffer phase: %+v", op)
+				}
+				if op.Block < odb.BlockID(in.env.Layout.TotalBlocks()) {
+					t.Fatalf("LSM read landed inside the B-tree address space: %+v", op)
+				}
+				sawRead = true
+			default:
+				t.Fatalf("unexpected op kind in read plan: %+v", op)
+			}
+		}
+		if sawRead {
+			blockReads++
+		} else {
+			memHits++
+		}
+	}
+	if blockReads == 0 {
+		t.Fatal("no read plan ever touched a block")
+	}
+	t.Logf("memtable resolutions=%d block reads=%d", memHits, blockReads)
+}
+
+// TestSpaceAmpTracksL0 checks the footprint counters: flushed runs
+// raise DiskBlocks above LiveBlocks, and compaction brings the
+// footprint back down.
+func TestSpaceAmpTracksL0(t *testing.T) {
+	lt := smallLSM()
+	in := newInstance(testEnv(t, 1, lt))
+	base := in.Counters()
+	if base.SpaceAmp() < 1 {
+		t.Fatalf("initial space amp %.3f < 1", base.SpaceAmp())
+	}
+	// Seal a few memtables and flush them without compacting: footprint
+	// must grow.
+	for s := 0; s < lt.L0CompactRuns-1; s++ {
+		in.memBytes = in.memCap
+		in.MemWrite(1)
+		drain(t, in)
+	}
+	grown := in.Counters()
+	if grown.DiskBlocks <= base.DiskBlocks {
+		t.Fatalf("flushes did not grow the footprint: %d -> %d", base.DiskBlocks, grown.DiskBlocks)
+	}
+	if grown.SpaceAmp() <= base.SpaceAmp() {
+		t.Fatalf("space amp did not grow: %.3f -> %.3f", base.SpaceAmp(), grown.SpaceAmp())
+	}
+}

@@ -1,0 +1,129 @@
+package lsm
+
+import (
+	"sort"
+
+	"odbscale/internal/odb"
+)
+
+// Store is the LSM engine's functional (payload-mode) counterpart to
+// odb.Store: row counters live as merge operands in a memtable, sealed
+// state flushes into the durable sorted-run image, and a write-ahead
+// log makes the memtable recoverable. A crash destroys every in-memory
+// structure — the active memtable included — and recovery replays the
+// WAL suffix past the last flush, exactly the discipline a real LSM
+// uses (RocksDB's WAL + MANIFEST).
+//
+// The durable image is modelled as the fully-merged view of all flushed
+// runs: compaction only reorganizes that image physically, so its
+// logical content — all the recovery invariants care about — is a
+// single key→counter map.
+type Store struct {
+	L *odb.Layout
+
+	mem      map[storeKey]int64 // active memtable: accumulated merge deltas
+	durable  map[storeKey]int64 // merged content of every flushed run
+	wal      []WALRecord
+	lsn      uint64
+	flushLSN uint64 // everything at or below this LSN is in durable
+}
+
+type storeKey struct {
+	t   odb.TableID
+	ord uint64
+}
+
+// WALRecord is one write-ahead log entry: a merge delta for a row
+// counter.
+type WALRecord struct {
+	LSN   uint64
+	Table odb.TableID
+	Ord   uint64
+	Delta int64
+}
+
+// NewStore builds an empty functional LSM store over layout l.
+func NewStore(l *odb.Layout) *Store {
+	return &Store{
+		L:       l,
+		mem:     make(map[storeKey]int64),
+		durable: make(map[storeKey]int64),
+	}
+}
+
+// LogLen returns the WAL length.
+func (s *Store) LogLen() int { return len(s.wal) }
+
+// AddCounter appends delta for row (t, ord): WAL first, then the
+// memtable (write-ahead discipline).
+func (s *Store) AddCounter(t odb.TableID, ord uint64, delta int64) {
+	if ord >= s.L.Heap(t).Rows {
+		panic("lsm: ordinal out of range")
+	}
+	s.lsn++
+	s.wal = append(s.wal, WALRecord{LSN: s.lsn, Table: t, Ord: ord, Delta: delta})
+	s.mem[storeKey{t, ord}] += delta
+}
+
+// Counter reads the merged value of row counter (t, ord): durable image
+// plus the memtable's pending deltas.
+func (s *Store) Counter(t odb.TableID, ord uint64) int64 {
+	k := storeKey{t, ord}
+	return s.durable[k] + s.mem[k]
+}
+
+// ApplyTxn executes the row-level effects of a transaction program. It
+// accepts both OpMemWrite (LSM-planned programs) and OpWrite
+// (B-tree-planned programs), so either engine's op streams replay.
+func (s *Store) ApplyTxn(t *odb.Txn) {
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		if (op.Kind == odb.OpMemWrite || op.Kind == odb.OpWrite) && op.Delta != 0 {
+			s.AddCounter(op.Table, op.Ord, op.Delta)
+		}
+	}
+}
+
+// Flush seals the memtable into the durable image and advances the
+// flush horizon — the LSM analogue of a checkpoint. Returns the number
+// of keys flushed.
+func (s *Store) Flush() int {
+	n := len(s.mem)
+	for k, d := range s.mem {
+		s.durable[k] += d
+	}
+	s.mem = make(map[storeKey]int64)
+	s.flushLSN = s.lsn
+	return n
+}
+
+// Crash simulates an instant failure: the memtable — all dirty state —
+// is destroyed. The durable image, the WAL and the flush horizon
+// survive.
+func (s *Store) Crash() {
+	s.mem = make(map[storeKey]int64)
+}
+
+// Recover rebuilds the memtable by replaying the WAL suffix past the
+// flush horizon, in LSN order, and returns the number of records
+// applied. Recovery is idempotent: it always reconstructs the memtable
+// from scratch, so repeated or redundant recoveries converge on the
+// same state.
+func (s *Store) Recover() int {
+	s.mem = make(map[storeKey]int64)
+	recs := make([]WALRecord, len(s.wal))
+	copy(recs, s.wal)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].LSN < recs[j].LSN })
+	applied := 0
+	for _, r := range recs {
+		if r.LSN <= s.flushLSN {
+			continue
+		}
+		s.mem[storeKey{r.Table, r.Ord}] += r.Delta
+		applied++
+	}
+	// The rebuilt memtable is exactly the pre-crash one, so the replayed
+	// records are now redundant with it; a caller flushing here would
+	// advance the horizon past them as usual.
+	return applied
+}

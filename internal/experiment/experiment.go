@@ -18,8 +18,11 @@ import (
 
 // Options configures a measurement campaign.
 type Options struct {
-	Machine     system.MachineConfig
-	Tuning      system.Tuning
+	Machine system.MachineConfig
+	Tuning  system.Tuning
+	// Engine names the storage engine every run executes on; empty means
+	// the default B-tree engine.
+	Engine      string
 	Seed        int64
 	WarmupTxns  int
 	MeasureTxns int
@@ -71,6 +74,7 @@ func (o Options) config(w, c, p, txns int) system.Config {
 		Clients:     c,
 		Processors:  p,
 		Seed:        o.Seed,
+		Engine:      o.Engine,
 		Machine:     o.Machine,
 		Tuning:      o.Tuning,
 		Coherent:    true,
@@ -87,6 +91,7 @@ func (o Options) config(w, c, p, txns int) system.Config {
 func (o Options) CampaignSpec(ws, ps []int) campaign.Spec {
 	return campaign.Spec{
 		Machine:     o.Machine,
+		Engine:      o.Engine,
 		Tuning:      o.Tuning,
 		Seed:        o.Seed,
 		WarmupTxns:  o.WarmupTxns,

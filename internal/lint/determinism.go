@@ -11,20 +11,23 @@ import (
 // MPI(W) regression and every campaign checkpoint fingerprint assumes
 // a rerun of the same (W, P, seed) reproduces the same metrics.
 var determinismScope = map[string]bool{
-	"odbscale/internal/sim":         true,
-	"odbscale/internal/odb":         true,
-	"odbscale/internal/workload":    true,
-	"odbscale/internal/osker":       true,
-	"odbscale/internal/system":      true,
-	"odbscale/internal/campaign":    true,
-	"odbscale/internal/telemetry":   true,
-	"odbscale/internal/profile":     true,
-	"odbscale/internal/cache":       true, // incl. the parallel snoop lanes
-	"odbscale/internal/buffercache": true, // entry arena + free-list pooling
-	"odbscale/internal/xrand":       true, // the seeded entropy source itself
-	"odbscale/internal/bus":         true,
-	"odbscale/internal/storage":     true,
-	"odbscale/internal/txtrace":     true, // span sampling must be seed-reproducible
+	"odbscale/internal/sim":          true,
+	"odbscale/internal/odb":          true,
+	"odbscale/internal/engine":       true,
+	"odbscale/internal/engine/btree": true,
+	"odbscale/internal/engine/lsm":   true,
+	"odbscale/internal/workload":     true,
+	"odbscale/internal/osker":        true,
+	"odbscale/internal/system":       true,
+	"odbscale/internal/campaign":     true,
+	"odbscale/internal/telemetry":    true,
+	"odbscale/internal/profile":      true,
+	"odbscale/internal/cache":        true, // incl. the parallel snoop lanes
+	"odbscale/internal/buffercache":  true, // entry arena + free-list pooling
+	"odbscale/internal/xrand":        true, // the seeded entropy source itself
+	"odbscale/internal/bus":          true,
+	"odbscale/internal/storage":      true,
+	"odbscale/internal/txtrace":      true, // span sampling must be seed-reproducible
 }
 
 // Determinism forbids ambient entropy — wall clocks, the global

@@ -13,12 +13,15 @@ import (
 // across them; HotAlloc protects it statically instead of only through
 // the 25%-regression bench gate.
 var hotAllocScope = map[string]bool{
-	"odbscale/internal/sim":         true,
-	"odbscale/internal/cache":       true,
-	"odbscale/internal/buffercache": true,
-	"odbscale/internal/xrand":       true,
-	"odbscale/internal/odb":         true,
-	"odbscale/internal/txtrace":     true, // per-commit span path pools trace records
+	"odbscale/internal/sim":          true,
+	"odbscale/internal/cache":        true,
+	"odbscale/internal/buffercache":  true,
+	"odbscale/internal/xrand":        true,
+	"odbscale/internal/odb":          true,
+	"odbscale/internal/engine":       true, // planner seam rides the per-op path
+	"odbscale/internal/engine/btree": true,
+	"odbscale/internal/engine/lsm":   true, // read-path draws and MemWrite run per op
+	"odbscale/internal/txtrace":      true, // per-commit span path pools trace records
 }
 
 // HotAlloc flags allocation patterns inside functions on the per-event

@@ -10,15 +10,18 @@ import "strings"
 // almost always protecting a performance invariant — and its reason
 // must say which one.
 var hotPathScope = map[string]bool{
-	"odbscale/internal/sim":         true,
-	"odbscale/internal/xrand":       true,
-	"odbscale/internal/cache":       true,
-	"odbscale/internal/buffercache": true,
-	"odbscale/internal/odb":         true,
-	"odbscale/internal/osker":       true,
-	"odbscale/internal/workload":    true,
-	"odbscale/internal/system":      true,
-	"odbscale/internal/txtrace":     true,
+	"odbscale/internal/sim":          true,
+	"odbscale/internal/xrand":        true,
+	"odbscale/internal/cache":        true,
+	"odbscale/internal/buffercache":  true,
+	"odbscale/internal/odb":          true,
+	"odbscale/internal/engine":       true,
+	"odbscale/internal/engine/btree": true,
+	"odbscale/internal/engine/lsm":   true,
+	"odbscale/internal/osker":        true,
+	"odbscale/internal/workload":     true,
+	"odbscale/internal/system":       true,
+	"odbscale/internal/txtrace":      true,
 }
 
 // perfReasonMarkers are the substrings (matched case-insensitively) that

@@ -99,6 +99,38 @@ func TestDeterminismScope(t *testing.T) {
 	}
 }
 
+// TestEngineScopeCovered pins the storage-engine packages into the
+// determinism and hot-path scopes: the same corpora that fire under
+// internal/sim must fire when loaded as the engine seam and both
+// engine implementations. An engine that read the wall clock or leaked
+// allocations into the per-op path would break bit-identity pins and
+// the bench trajectory exactly like core simulator code.
+func TestEngineScopeCovered(t *testing.T) {
+	for _, path := range []string{
+		"odbscale/internal/engine",
+		"odbscale/internal/engine/btree",
+		"odbscale/internal/engine/lsm",
+	} {
+		if !determinismScope[path] {
+			t.Errorf("%s missing from determinismScope", path)
+		}
+		if !hotAllocScope[path] {
+			t.Errorf("%s missing from hotAllocScope", path)
+		}
+		if !hotPathScope[path] {
+			t.Errorf("%s missing from hotPathScope", path)
+		}
+		if got := runFixture(t, "determinism", path); len(got) == 0 {
+			t.Errorf("determinism corpus produced no findings under %s", path)
+		} else {
+			checkGolden(t, "determinism", got)
+		}
+		if got := runFixture(t, "hotwaiver", path); len(got) == 0 {
+			t.Errorf("hotwaiver corpus produced no findings under %s", path)
+		}
+	}
+}
+
 // TestHotWaiverScope loads the hotwaiver corpus outside the hot-path
 // packages: the same vague waivers must not be flagged there.
 func TestHotWaiverScope(t *testing.T) {

@@ -1,0 +1,55 @@
+package odb
+
+// AccessPlanner turns logical row accesses into the op-stream fragments
+// a storage engine executes for them. The transaction bodies in this
+// package describe *what* they touch — (table, ordinal) pairs and index
+// probes — and the planner owned by the selected engine decides *how*:
+// which blocks are read through the buffer cache, which phases the work
+// is attributed to, and whether a write lands on a heap page (B-tree
+// engine) or in an in-memory buffer (LSM memtable). Planners append to
+// the caller's op slice and return it so transaction recycling keeps
+// its capacity; they may keep internal scratch but must be deterministic
+// functions of their construction-time RNG stream and their inputs.
+type AccessPlanner interface {
+	// ReadRow plans a read of row (t, ord).
+	ReadRow(ops []Op, t TableID, ord uint64) []Op
+	// WriteRow plans a read-modify-write of row (t, ord). A non-zero
+	// delta is the logical effect applied by the functional engine.
+	WriteRow(ops []Op, t TableID, ord uint64, delta int64) []Op
+	// IndexLookup plans a secondary-index probe for ordinal ord. Engines
+	// without materialized index trees may emit nothing.
+	IndexLookup(ops []Op, idx TableID, ord uint64) []Op
+}
+
+// BTreePlanner is the paper's engine: heap rows behind a buffer cache,
+// secondary lookups as root-to-leaf B-tree descents. It reproduces the
+// op streams the transaction bodies emitted before the planner seam
+// existed, bit for bit — the engine/btree bit-identity pin depends on
+// that.
+type BTreePlanner struct {
+	L    *Layout
+	path []BlockID // index-descent scratch
+}
+
+// NewBTreePlanner builds the default planner over layout l.
+func NewBTreePlanner(l *Layout) *BTreePlanner { return &BTreePlanner{L: l} }
+
+// ReadRow is a buffer-cache get of the row's heap block.
+func (p *BTreePlanner) ReadRow(ops []Op, t TableID, ord uint64) []Op {
+	return append(ops, Op{Kind: OpRead, Phase: PhaseBuffer, Block: p.L.Heap(t).Block(ord), Table: t, Ord: ord})
+}
+
+// WriteRow is a buffer-cache get plus dirty of the row's heap block.
+func (p *BTreePlanner) WriteRow(ops []Op, t TableID, ord uint64, delta int64) []Op {
+	return append(ops, Op{Kind: OpWrite, Phase: PhaseBuffer, Block: p.L.Heap(t).Block(ord), Table: t, Ord: ord, Delta: delta})
+}
+
+// IndexLookup walks the B-tree from the root to the leaf; every touched
+// block is index-descent work.
+func (p *BTreePlanner) IndexLookup(ops []Op, idx TableID, ord uint64) []Op {
+	p.path = p.L.Index(idx).AppendPath(p.path[:0], ord)
+	for _, bl := range p.path {
+		ops = append(ops, Op{Kind: OpRead, Phase: PhaseBTree, Block: bl})
+	}
+	return ops
+}

@@ -58,6 +58,10 @@ const (
 	numTables
 )
 
+// NumHeapTables is the number of heap tables (TableWarehouse through
+// TableNewOrder), for engine-side per-table arrays.
+const NumHeapTables = int(IndexCustomer)
+
 var tableNames = [...]string{
 	"warehouse", "district", "customer", "stock", "item",
 	"order", "orderline", "history", "neworder",
@@ -97,6 +101,17 @@ var rowsPerWarehouse = map[TableID]int{
 	TableOrderLine: OrdersPerWarehouse * OrderLinesPerOrder,
 	TableHistory:   CustomersPerWarehouse,
 	TableNewOrder:  OrdersPerWarehouse * 3 / 10,
+}
+
+// RowBytes returns the approximate row size of heap table t; engines use
+// it to convert logical row writes into byte volumes (LSM memtable
+// appends, write-amplification accounting). Panics for index tables.
+func RowBytes(t TableID) int {
+	b, ok := rowBytes[t]
+	if !ok {
+		panic("odb: not a heap table: " + t.String())
+	}
+	return b
 }
 
 // RowsPerBlock returns how many rows of table t fit in one block.

@@ -28,11 +28,14 @@ func (t TxnType) String() string { return txnNames[t] }
 var MixWeights = [numTxnTypes]int{45, 43, 4, 4, 4}
 
 // Phase tags where in the engine an operation's work happens — the
-// frames of the cycle-attribution profiler. The first five are the ODB
-// engine phases (statement setup, index descent, buffer-cache access,
-// lock-manager traffic, redo generation and commit); the last three are
-// the OS-side phases charged by the system layer through the scheduler
-// callbacks (context switching, kernel syscall paths, idle).
+// frames of the cycle-attribution profiler. The first seven are the
+// storage-engine phases (statement setup, index descent, buffer-cache
+// access, lock-manager traffic, redo generation and commit, memtable
+// probes and appends, background compaction); the last three are the
+// OS-side phases charged by the system layer through the scheduler
+// callbacks (context switching, kernel syscall paths, idle). The
+// memtable and compact phases are empty under the B-tree engine and
+// carry the LSM engine's in-memory write path and background merges.
 type Phase uint8
 
 // Engine and OS phases.
@@ -42,6 +45,8 @@ const (
 	PhaseBuffer
 	PhaseLock
 	PhaseLogCommit
+	PhaseMemtable
+	PhaseCompact
 	PhaseSched
 	PhaseSyscall
 	PhaseIdle
@@ -49,7 +54,7 @@ const (
 )
 
 var phaseNames = [NumPhases]string{
-	"parse", "btree", "buffer", "lock", "logcommit", "sched", "syscall", "idle",
+	"parse", "btree", "buffer", "lock", "logcommit", "memtable", "compact", "sched", "syscall", "idle",
 }
 
 func (p Phase) String() string {
@@ -74,13 +79,14 @@ type OpKind uint8
 
 // Operation kinds.
 const (
-	OpCompute OpKind = iota // burn Instr user-mode instructions
-	OpRead                  // read Block (buffer cache get)
-	OpWrite                 // read-modify-write Block (get + mark dirty)
-	OpLock                  // acquire Res, may block
-	OpUnlock                // release Res
-	OpLog                   // emit Bytes of redo to the log writer
-	OpCommit                // transaction end: force the log, release CPU
+	OpCompute  OpKind = iota // burn Instr user-mode instructions
+	OpRead                   // read Block (buffer cache get)
+	OpWrite                  // read-modify-write Block (get + mark dirty)
+	OpLock                   // acquire Res, may block
+	OpUnlock                 // release Res
+	OpLog                    // emit Bytes of redo to the log writer
+	OpCommit                 // transaction end: force the log, release CPU
+	OpMemWrite               // append Bytes to the engine's in-memory write buffer (LSM memtable)
 )
 
 // Op is one step of a transaction program. Instr user instructions of
@@ -137,8 +143,9 @@ var logBytesFor = [numTxnTypes]int{
 // small fraction of NewOrder stock updates and Payment customers are
 // remote, producing genuine cross-warehouse sharing.
 type Generator struct {
-	L   *Layout
-	rng *xrand.Rand
+	L       *Layout
+	rng     *xrand.Rand
+	planner AccessPlanner // engine-owned access planner; defaults to BTreePlanner
 
 	item        *xrand.Zipf // item popularity
 	nextOrderID []int       // per district, cycling append cursor
@@ -148,19 +155,31 @@ type Generator struct {
 	StockLevelScan int
 
 	free []*Txn    // recycled transactions; their Ops capacity is reused
-	path []BlockID // index-descent scratch
 	seen []BlockID // duplicate-block scratch for scan loops
 	ob   opBuilder // builder scratch, rebound per Next so no builder escapes
 }
 
 // NewGenerator builds a generator over layout l with its own RNG stream.
+// Transactions plan their accesses through the default B-tree planner
+// until SetPlanner installs an engine-specific one.
 func NewGenerator(l *Layout, rng *xrand.Rand) *Generator {
 	return &Generator{
 		L:              l,
 		rng:            rng,
+		planner:        NewBTreePlanner(l),
 		item:           xrand.NewZipf(rng.Split(101), 1.45, Items),
 		nextOrderID:    make([]int, l.Warehouses*DistrictsPerWarehouse),
 		StockLevelScan: 60,
+	}
+}
+
+// SetPlanner installs the storage engine's access planner. A nil planner
+// keeps the current one. The generator's own RNG stream is untouched, so
+// engines whose planners draw no randomness (B-tree) generate op streams
+// bit-identical to the pre-seam generator.
+func (g *Generator) SetPlanner(p AccessPlanner) {
+	if p != nil {
+		g.planner = p
 	}
 }
 
@@ -237,24 +256,24 @@ type opBuilder struct {
 
 func (b *opBuilder) add(op Op) { b.txn.Ops = append(b.txn.Ops, op) }
 
-func (b *opBuilder) read(bl BlockID)  { b.add(Op{Kind: OpRead, Phase: PhaseBuffer, Block: bl}) }
-func (b *opBuilder) write(bl BlockID) { b.add(Op{Kind: OpWrite, Phase: PhaseBuffer, Block: bl}) }
+func (b *opBuilder) read(t TableID, ord uint64) {
+	b.txn.Ops = b.g.planner.ReadRow(b.txn.Ops, t, ord)
+}
+func (b *opBuilder) write(t TableID, ord uint64) {
+	b.txn.Ops = b.g.planner.WriteRow(b.txn.Ops, t, ord, 0)
+}
 
 // writeRow is a write carrying a logical row effect for the payload engine.
-func (b *opBuilder) writeRow(bl BlockID, t TableID, ord uint64, delta int64) {
-	b.add(Op{Kind: OpWrite, Phase: PhaseBuffer, Block: bl, Table: t, Ord: ord, Delta: delta})
+func (b *opBuilder) writeRow(t TableID, ord uint64, delta int64) {
+	b.txn.Ops = b.g.planner.WriteRow(b.txn.Ops, t, ord, delta)
 }
 
 func (b *opBuilder) lock(res LockID)   { b.add(Op{Kind: OpLock, Phase: PhaseLock, Res: res}) }
 func (b *opBuilder) unlock(res LockID) { b.add(Op{Kind: OpUnlock, Phase: PhaseLock, Res: res}) }
 
-// indexPath walks a B-tree from the root to the leaf; every touched
-// block is index descent work.
+// indexPath plans a secondary-index probe for ordinal ord.
 func (b *opBuilder) indexPath(idx TableID, ord uint64) {
-	b.g.path = b.g.L.Index(idx).AppendPath(b.g.path[:0], ord)
-	for _, bl := range b.g.path {
-		b.add(Op{Kind: OpRead, Phase: PhaseBTree, Block: bl})
-	}
+	b.txn.Ops = b.g.planner.IndexLookup(b.txn.Ops, idx, ord)
 }
 
 // finish distributes the instruction budget over the ops and appends the
@@ -294,22 +313,22 @@ func containsBlock(s []BlockID, bl BlockID) bool {
 
 func (g *Generator) newOrder(b *opBuilder, w, d int) {
 	l := g.L
-	b.read(l.Heap(TableWarehouse).Block(uint64(w)))
+	b.read(TableWarehouse, uint64(w))
 
 	dres := LockID{LockDistrict, DistrictOrdinal(w, d)}
 	b.lock(dres)
-	b.write(l.Heap(TableDistrict).Block(DistrictOrdinal(w, d)))
+	b.write(TableDistrict, DistrictOrdinal(w, d))
 
 	c := g.rng.NURand(1023, 0, CustomersPerDistrict-1, 259)
 	cOrd := CustomerOrdinal(w, d, c)
 	b.indexPath(IndexCustomer, cOrd)
-	b.read(l.Heap(TableCustomer).Block(cOrd))
+	b.read(TableCustomer, cOrd)
 
 	nItems := g.rng.UniformInt(5, 15)
 	for i := 0; i < nItems; i++ {
 		item := int(g.item.Next())
 		b.indexPath(IndexItem, uint64(item))
-		b.read(l.Heap(TableItem).Block(uint64(item)))
+		b.read(TableItem, uint64(item))
 		sw := w
 		if l.Warehouses > 1 && g.rng.Bernoulli(0.01) {
 			for sw == w {
@@ -318,7 +337,7 @@ func (g *Generator) newOrder(b *opBuilder, w, d int) {
 		}
 		sOrd := StockOrdinal(sw, item)
 		b.indexPath(IndexStock, sOrd)
-		b.write(l.Heap(TableStock).Block(sOrd))
+		b.write(TableStock, sOrd)
 	}
 
 	// Insert order, new-order and order lines in the district's append
@@ -328,18 +347,21 @@ func (g *Generator) newOrder(b *opBuilder, w, d int) {
 	oid := g.nextOrderID[dOrd]
 	g.nextOrderID[dOrd] = (oid + 1) % perDistrict
 	oOrd := OrderOrdinal(w, d, oid)
-	b.write(l.Heap(TableOrder).Block(oOrd))
+	b.write(TableOrder, oOrd)
 	b.indexPath(IndexOrder, oOrd)
 	noHeap := l.Heap(TableNewOrder)
-	b.write(noHeap.Block(oOrd % noHeap.Rows))
+	b.write(TableNewOrder, oOrd%noHeap.Rows)
+	// Dedup order-line touches by heap block so the B-tree engine writes
+	// each block once; the representative ordinal stands in for the run.
 	olHeap := l.Heap(TableOrderLine)
 	olBase := oOrd * OrderLinesPerOrder
 	seen := g.seen[:0]
 	for i := 0; i < nItems; i++ {
-		bl := olHeap.Block((olBase + uint64(i)) % olHeap.Rows)
+		ord := (olBase + uint64(i)) % olHeap.Rows
+		bl := olHeap.Block(ord)
 		if !containsBlock(seen, bl) {
 			seen = append(seen, bl)
-			b.write(bl)
+			b.write(TableOrderLine, ord)
 		}
 	}
 	g.seen = seen
@@ -352,11 +374,11 @@ func (g *Generator) payment(b *opBuilder, w, d int) {
 
 	wres := LockID{LockWarehouse, uint64(w)}
 	b.lock(wres)
-	b.writeRow(l.Heap(TableWarehouse).Block(uint64(w)), TableWarehouse, uint64(w), amount)
+	b.writeRow(TableWarehouse, uint64(w), amount)
 
 	dres := LockID{LockDistrict, DistrictOrdinal(w, d)}
 	b.lock(dres)
-	b.writeRow(l.Heap(TableDistrict).Block(DistrictOrdinal(w, d)), TableDistrict, DistrictOrdinal(w, d), amount)
+	b.writeRow(TableDistrict, DistrictOrdinal(w, d), amount)
 
 	// 15% of payments are for a customer of a remote warehouse.
 	cw, cd := w, d
@@ -369,10 +391,10 @@ func (g *Generator) payment(b *opBuilder, w, d int) {
 	c := g.rng.NURand(1023, 0, CustomersPerDistrict-1, 259)
 	cOrd := CustomerOrdinal(cw, cd, c)
 	b.indexPath(IndexCustomer, cOrd)
-	b.writeRow(l.Heap(TableCustomer).Block(cOrd), TableCustomer, cOrd, -amount)
+	b.writeRow(TableCustomer, cOrd, -amount)
 
 	hHeap := l.Heap(TableHistory)
-	b.write(hHeap.Block(cOrd % hHeap.Rows))
+	b.write(TableHistory, cOrd%hHeap.Rows)
 
 	b.unlock(dres)
 	b.unlock(wres)
@@ -383,7 +405,7 @@ func (g *Generator) orderStatus(b *opBuilder, w, d int) {
 	c := g.rng.NURand(1023, 0, CustomersPerDistrict-1, 259)
 	cOrd := CustomerOrdinal(w, d, c)
 	b.indexPath(IndexCustomer, cOrd)
-	b.read(l.Heap(TableCustomer).Block(cOrd))
+	b.read(TableCustomer, cOrd)
 
 	// OrderStatus reads the customer's most recent order, so the touched
 	// order blocks stay within the hot append region.
@@ -396,9 +418,9 @@ func (g *Generator) orderStatus(b *opBuilder, w, d int) {
 	}
 	oOrd := OrderOrdinal(w, d, oid%perDistrict)
 	b.indexPath(IndexOrder, oOrd)
-	b.read(l.Heap(TableOrder).Block(oOrd))
+	b.read(TableOrder, oOrd)
 	olHeap := l.Heap(TableOrderLine)
-	b.read(olHeap.Block((oOrd * OrderLinesPerOrder) % olHeap.Rows))
+	b.read(TableOrderLine, (oOrd*OrderLinesPerOrder)%olHeap.Rows)
 }
 
 func (g *Generator) delivery(b *opBuilder, w int) {
@@ -409,31 +431,34 @@ func (g *Generator) delivery(b *opBuilder, w int) {
 		oid := g.nextOrderID[dOrd]
 		oOrd := OrderOrdinal(w, d, oid%perDistrict)
 		noHeap := l.Heap(TableNewOrder)
-		b.write(noHeap.Block(oOrd % noHeap.Rows))
-		b.write(l.Heap(TableOrder).Block(oOrd))
+		b.write(TableNewOrder, oOrd%noHeap.Rows)
+		b.write(TableOrder, oOrd)
 		olHeap := l.Heap(TableOrderLine)
-		b.write(olHeap.Block((oOrd * OrderLinesPerOrder) % olHeap.Rows))
+		b.write(TableOrderLine, (oOrd*OrderLinesPerOrder)%olHeap.Rows)
 		c := g.rng.NURand(1023, 0, CustomersPerDistrict-1, 259)
 		cOrd := CustomerOrdinal(w, d, c)
-		b.write(l.Heap(TableCustomer).Block(cOrd))
+		b.write(TableCustomer, cOrd)
 	}
 }
 
 func (g *Generator) stockLevel(b *opBuilder, w, d int) {
 	l := g.L
-	b.read(l.Heap(TableDistrict).Block(DistrictOrdinal(w, d)))
+	b.read(TableDistrict, DistrictOrdinal(w, d))
 	// Scan recent order lines, then probe the stock of the referenced
 	// items. Recently ordered items follow the popularity distribution.
+	// The scan dedups by heap block; the representative ordinal stands in
+	// for the run.
 	olHeap := l.Heap(TableOrderLine)
 	perDistrict := OrdersPerWarehouse / DistrictsPerWarehouse
 	dOrd := DistrictOrdinal(w, d)
 	base := OrderOrdinal(w, d, g.nextOrderID[dOrd]%perDistrict) * OrderLinesPerOrder
 	seen := g.seen[:0]
 	for i := 0; i < 20; i++ {
-		bl := olHeap.Block((base + uint64(i)) % olHeap.Rows)
+		ord := (base + uint64(i)) % olHeap.Rows
+		bl := olHeap.Block(ord)
 		if !containsBlock(seen, bl) {
 			seen = append(seen, bl)
-			b.read(bl)
+			b.read(TableOrderLine, ord)
 		}
 	}
 	g.seen = seen
@@ -441,6 +466,6 @@ func (g *Generator) stockLevel(b *opBuilder, w, d int) {
 		item := int(g.item.Next())
 		sOrd := StockOrdinal(w, item)
 		b.indexPath(IndexStock, sOrd)
-		b.read(l.Heap(TableStock).Block(sOrd))
+		b.read(TableStock, sOrd)
 	}
 }

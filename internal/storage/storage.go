@@ -47,6 +47,7 @@ func DefaultConfig() Config {
 type Stats struct {
 	Reads          uint64
 	Writes         uint64 // data writebacks
+	BgReads        uint64 // background (maintenance) reads: compaction input
 	LogWrites      uint64
 	ReadLatencySum float64 // cycles, queue + service
 	BusyCycles     float64 // summed across data disks
@@ -148,6 +149,17 @@ func (a *Array) Read(block uint64, done func()) {
 			done()
 		}
 	})
+}
+
+// BackgroundRead issues an asynchronous maintenance read (compaction
+// input); no caller waits on it. It occupies the disk like any read but
+// is counted separately and excluded from foreground read latency, so
+// engine maintenance does not pollute the paper's read-latency metric.
+func (a *Array) BackgroundRead(block uint64) {
+	d := &a.data[int(block)%len(a.data)]
+	svc := a.service(a.cfg.AccessMS + a.cfg.TransferMS)
+	a.enqueue(d, svc, true)
+	a.stats.BgReads++
 }
 
 // Write issues an asynchronous data-block writeback (the DB writer's

@@ -59,6 +59,37 @@ func TestQueueingDelay(t *testing.T) {
 	}
 }
 
+// TestBackgroundReadOccupiesDiskNotLatency pins the maintenance-read
+// contract: a background read (compaction input) competes for the disk
+// like any read — a foreground read behind it queues — but is counted
+// in BgReads, not Reads, and contributes nothing to foreground read
+// latency.
+func TestBackgroundReadOccupiesDiskNotLatency(t *testing.T) {
+	a, eng := testArray(1) // single disk: the foreground read must queue
+	a.BackgroundRead(0)
+	var done sim.Time
+	a.Read(0, func() { done = eng.Now() })
+	for eng.Step() {
+	}
+	cfg := DefaultConfig()
+	svc := sim.Time((cfg.AccessMS + cfg.TransferMS) * cfg.CyclesPerMS)
+	if done != 2*svc {
+		t.Fatalf("foreground read completed at %v, want %v (queued behind background read)", done, 2*svc)
+	}
+	s := a.StatsNow()
+	if s.BgReads != 1 || s.Reads != 1 {
+		t.Fatalf("BgReads = %d, Reads = %d, want 1 and 1", s.BgReads, s.Reads)
+	}
+	// Foreground latency includes its queueing wait but never the
+	// background read's own service.
+	if got, want := s.MeanReadLatency(), 2*float64(svc); got != want {
+		t.Fatalf("mean read latency = %v, want %v", got, want)
+	}
+	if got, want := s.BusyCycles, 2*float64(svc); got != want {
+		t.Fatalf("BusyCycles = %v, want %v (background reads occupy the disk)", got, want)
+	}
+}
+
 func TestStriping(t *testing.T) {
 	a, eng := testArray(4)
 	// Blocks 0..3 hit distinct disks, so all complete at the same time.

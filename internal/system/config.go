@@ -9,6 +9,7 @@ import (
 	"odbscale/internal/bus"
 	"odbscale/internal/cache"
 	"odbscale/internal/cpu"
+	"odbscale/internal/engine"
 	"odbscale/internal/storage"
 	"odbscale/internal/workload"
 )
@@ -99,6 +100,10 @@ type Tuning struct {
 	Synth             workload.Config
 	PrefillSampleTxns int // generator draws used to rank blocks for prefill
 
+	// LSM holds the LSM engine's shape and background-bandwidth knobs;
+	// ignored by the B-tree engine.
+	LSM engine.LSMTuning
+
 	// SnoopLanes controls the coherence domain's deterministic parallel
 	// snoop lanes: 0 enables them automatically at or above
 	// cache.MinParallelCPUs processors, > 0 forces that many lanes on
@@ -133,6 +138,7 @@ func DefaultTuning() Tuning {
 		StockLevelScan:     60,
 		Synth:              workload.DefaultConfig(64),
 		PrefillSampleTxns:  12_000,
+		LSM:                engine.DefaultLSMTuning(),
 	}
 }
 
@@ -156,6 +162,10 @@ type Config struct {
 	Clients    int
 	Processors int
 	Seed       int64
+
+	// Engine names the storage engine (see internal/engine's registry);
+	// empty means the default B-tree engine.
+	Engine string
 
 	Machine MachineConfig
 	Tuning  Tuning

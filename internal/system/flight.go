@@ -3,6 +3,7 @@ package system
 import (
 	"context"
 
+	"odbscale/internal/odb"
 	"odbscale/internal/sim"
 	"odbscale/internal/telemetry"
 )
@@ -21,12 +22,17 @@ type flightSnap struct {
 	osInstr   uint64
 	bcGets    uint64
 	bcHits    uint64
+	physW     uint64 // engine + eviction write bytes (write-amp numerator)
+	logicalW  uint64 // logical row-write bytes (write-amp denominator)
+	fgReads   uint64 // executed foreground block reads (read-amp numerator)
+	logicalR  uint64 // logical row reads (read-amp denominator)
 	busy      []float64
 }
 
 // snapFlight reads the cumulative counters at the current instant.
 func (m *machine) snapFlight() flightSnap {
 	bc := m.bc.Stats()
+	ec := m.se.Counters()
 	return flightSnap{
 		at:        m.eng.Now(),
 		txns:      m.totalTxns,
@@ -38,6 +44,10 @@ func (m *machine) snapFlight() flightSnap {
 		osInstr:   m.flOSInstr,
 		bcGets:    bc.Gets,
 		bcHits:    bc.Hits,
+		physW:     ec.PhysicalWriteBytes + m.evictWr*odb.BlockSize,
+		logicalW:  ec.LogicalWriteBytes,
+		fgReads:   m.fgReads,
+		logicalR:  ec.LogicalReads,
 		busy:      m.sched.PerCPUBusyCycles(),
 	}
 }
@@ -93,6 +103,13 @@ func (m *machine) flightSample(last, cur flightSnap) telemetry.Sample {
 	if dGets := deltaU64(cur.bcGets, last.bcGets); dGets > 0 {
 		s.BufferHit = float64(deltaU64(cur.bcHits, last.bcHits)) / float64(dGets)
 	}
+	if dLogW := deltaU64(cur.logicalW, last.logicalW); dLogW > 0 {
+		s.WriteAmp = float64(deltaU64(cur.physW, last.physW)) / float64(dLogW)
+	}
+	if dLogR := deltaU64(cur.logicalR, last.logicalR); dLogR > 0 {
+		s.ReadAmp = float64(deltaU64(cur.fgReads, last.fgReads)) / float64(dLogR)
+	}
+	s.SpaceAmp = m.se.Counters().SpaceAmp()
 
 	s.CPUUtil = make([]float64, len(cur.busy))
 	for i, b := range cur.busy {

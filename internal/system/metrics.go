@@ -57,6 +57,13 @@ type Metrics struct {
 	DiskUtil       float64
 	ReadLatencyMS  float64
 	LockConflicts  float64 // per transaction
+
+	// Storage-engine identity and amplification (engine comparisons).
+	Engine            string
+	WriteAmp          float64 // physical write bytes / logical row-write bytes
+	ReadAmp           float64 // executed block reads / logical row reads
+	SpaceAmp          float64 // on-disk blocks / live-data blocks
+	WriteStallsPerTxn float64 // engine writer throttles (LSM L0 backpressure)
 }
 
 // String renders a one-line summary.

@@ -10,6 +10,9 @@ import (
 	"odbscale/internal/bus"
 	"odbscale/internal/cache"
 	"odbscale/internal/cpu"
+	"odbscale/internal/engine"
+	_ "odbscale/internal/engine/btree" // register the default engine
+	_ "odbscale/internal/engine/lsm"   // register the LSM engine
 	"odbscale/internal/odb"
 	"odbscale/internal/osker"
 	"odbscale/internal/profile"
@@ -26,9 +29,9 @@ type serverProc struct {
 	txn       *odb.Txn
 	opIdx     int
 	pendingOS uint64
-	carry     []odb.BlockID // blocks installed by I/O since the last chunk
-	dbWriter  bool
-	startAt   sim.Time // when the current transaction was generated (flight recorder)
+	carry     []odb.BlockID      // blocks installed by I/O since the last chunk
+	dbWriter  bool               // the engine-maintenance process (DB writer / compactor)
+	startAt   sim.Time           // when the current transaction was generated (flight recorder)
 	ts        *txtrace.ProcState // span builder (nil unless WithSpans)
 
 	wake      func()        // prebound scheduler wakeup, shared by every wait site
@@ -42,6 +45,7 @@ type machine struct {
 	rng    *xrand.Rand
 	layout *odb.Layout
 	gen    *odb.Generator
+	se     engine.Instance // the storage engine behind the op streams
 	bc     *buffercache.Cache
 	lm     *odb.LockManager
 	disks  *storage.Array
@@ -53,7 +57,7 @@ type machine struct {
 	cyclesPerMS float64
 	smt         int
 
-	ctr     counters
+	ctr       counters
 	onReset   func()      // observer hooks armed at measurement start
 	extraDone func() bool // extra completion condition (EMON's schedule)
 
@@ -86,6 +90,7 @@ type machine struct {
 	logBytes  float64
 	evictWr   uint64
 	busyWaits uint64
+	fgReads   uint64 // executed foreground block reads (read-amplification numerator)
 
 	// inflight tracks blocks with an outstanding disk read; later missers
 	// join the waiter list instead of issuing a duplicate read.
@@ -111,6 +116,9 @@ var (
 	ErrBadConfig = errors.New("bad configuration")
 	// ErrNoTxns reports a configuration without a positive MeasureTxns.
 	ErrNoTxns = errors.New("MeasureTxns must be positive")
+	// ErrBadEngine reports a configuration naming an unregistered
+	// storage engine.
+	ErrBadEngine = errors.New("unknown storage engine")
 )
 
 // validate rejects configurations Run cannot execute.
@@ -121,6 +129,9 @@ func validate(cfg Config) error {
 	}
 	if cfg.MeasureTxns < 1 {
 		return fmt.Errorf("system: %w", ErrNoTxns)
+	}
+	if _, ok := engine.Lookup(cfg.Engine); !ok {
+		return fmt.Errorf("system: %w: %q (have %v)", ErrBadEngine, cfg.Engine, engine.Names())
 	}
 	return nil
 }
@@ -196,6 +207,32 @@ func build(cfg Config) *machine {
 	m.inflight = make(map[odb.BlockID][]ioWaiter)
 	m.sched = osker.New(eng, osker.Config{CPUs: logical, QuantumInstr: t.QuantumInstr},
 		m.runChunk, m.contextSwitch)
+
+	// The storage engine, constructed last so its RNG splits (5 and 6)
+	// come after the historical splits 1–4: the parent stream is never
+	// drawn from again, so engine construction leaves every established
+	// stream untouched and the B-tree engine stays bit-identical to the
+	// pre-boundary system layer.
+	fac, ok := engine.Lookup(cfg.Engine)
+	if !ok {
+		panic("system: unvalidated engine " + cfg.Engine)
+	}
+	m.se = fac.New(engine.Env{
+		Layout:      layout,
+		Cache:       bc,
+		Disks:       disks,
+		Sim:         eng,
+		Rand:        rng.Split(5),
+		CyclesPerMS: m.cyclesPerMS,
+		Tuning: engine.Tuning{
+			DBWriterBatch:   t.DBWriterBatch,
+			DirtyHighWater:  t.DirtyHighWater,
+			DBWriterAgeGets: t.DBWriterAgeGets,
+			DBWriterInstr:   t.DBWriterInstr,
+			LSM:             t.LSM,
+		},
+	})
+	gen.SetPlanner(m.se.Planner(rng.Split(6)))
 	return m
 }
 
@@ -239,10 +276,11 @@ func (m *machine) contentionProb() float64 {
 }
 
 // prefill loads the buffer cache with the blocks a steady-state run keeps
-// resident: all of them when the database fits, otherwise the most
-// frequently touched blocks of a generator sample, ranked by frequency.
+// resident: all of the engine's initial on-disk image when it fits,
+// otherwise the most frequently touched blocks of a generator sample,
+// ranked by frequency.
 func (m *machine) prefill() {
-	total := m.layout.TotalBlocks()
+	base, total := m.se.PrefillBlocks()
 	capacity := uint64(m.bc.Capacity())
 	install := func(b odb.BlockID) {
 		e, _ := m.bc.Install(b)
@@ -250,13 +288,16 @@ func (m *machine) prefill() {
 	}
 	if total <= capacity {
 		for b := uint64(0); b < total; b++ {
-			install(odb.BlockID(b))
+			install(base + odb.BlockID(b))
 		}
 		m.bc.ResetStats()
 		return
 	}
 	sample := odb.NewGenerator(m.layout, xrand.New(m.cfg.Seed).Split(77))
 	sample.StockLevelScan = m.cfg.Tuning.StockLevelScan
+	// The sampler plans through the engine too (its own planner stream),
+	// so the ranked blocks are the ones this engine's op streams touch.
+	sample.SetPlanner(m.se.Planner(xrand.New(m.cfg.Seed).Split(78)))
 	freq := make(map[odb.BlockID]uint32)
 	for i := 0; i < m.cfg.Tuning.PrefillSampleTxns; i++ {
 		txn := sample.Next(i % m.cfg.Clients)
@@ -291,8 +332,8 @@ func (m *machine) prefill() {
 	// least popular first, so the hottest end at the MRU end.
 	if extra := capacity - uint64(len(ranked)); extra > 0 {
 		for b := uint64(0); b < total && extra > 0; b++ {
-			if _, seen := freq[odb.BlockID(b)]; !seen {
-				install(odb.BlockID(b))
+			if _, seen := freq[base+odb.BlockID(b)]; !seen {
+				install(base + odb.BlockID(b))
 				extra--
 			}
 		}
@@ -389,7 +430,7 @@ func (m *machine) runChunk(p *osker.Proc, cpuID int, budget uint64) osker.Outcom
 	}
 	sp := p.Data.(*serverProc)
 	if sp.dbWriter {
-		return m.runDBWriter(p, cpuID)
+		return m.runMaint(p, cpuID)
 	}
 	t := &m.cfg.Tuning
 	ts := sp.ts
@@ -451,6 +492,9 @@ loop:
 		switch op.Kind {
 		case odb.OpRead, odb.OpWrite:
 			write := op.Kind == odb.OpWrite
+			if m.measuring && !write {
+				m.fgReads++
+			}
 			if e := m.bc.Lookup(op.Block); e != nil {
 				if write {
 					m.bc.MarkDirty(e)
@@ -503,6 +547,19 @@ loop:
 				}
 				if ts != nil {
 					ts.SetBlock(txtrace.KindIOWait, 0)
+				}
+				blocked = true
+				break loop
+			}
+		case odb.OpMemWrite:
+			// Engine in-memory write path (LSM memtable append). A
+			// non-zero return is a writer throttle: the append is
+			// admitted — the op is complete — but the writer sleeps.
+			if stall := m.se.MemWrite(op.Bytes); stall > 0 {
+				sp.opIdx++
+				m.eng.After(stall, sp.wake)
+				if ts != nil {
+					ts.SetBlock(txtrace.KindBusyWait, 0)
 				}
 				blocked = true
 				break loop
@@ -596,26 +653,21 @@ func (m *machine) readDone(block odb.BlockID) {
 	}
 }
 
-// runDBWriter executes one DB-writer activation: write back a batch of
-// aged dirty blocks, then sleep until the next timer tick.
-func (m *machine) runDBWriter(p *osker.Proc, cpuID int) osker.Outcome {
-	t := &m.cfg.Tuning
-	var osInstr uint64 = 2_000 // scan overhead
-	var blocks []odb.BlockID
-	dirtyTrigger := int(t.DirtyHighWater * float64(m.bc.Capacity()))
-	if m.bc.DirtyCount() > dirtyTrigger {
-		blocks = m.bc.CleanAgedInto(m.dbwScratch[:0], t.DBWriterBatch, t.DBWriterAgeGets)
-		m.dbwScratch = blocks
-		for _, id := range blocks {
-			m.disks.Write(uint64(id))
-		}
-		osInstr += uint64(len(blocks)) * t.DBWriterInstr
+// runMaint executes one maintenance-process activation: the engine does
+// its background work (DB-writer batch cleaning, memtable flushes,
+// compaction) as simulated disk traffic and hands back the OS
+// instruction bill, the profiler phase, and the visited blocks for
+// pricing.
+func (m *machine) runMaint(p *osker.Proc, cpuID int) osker.Outcome {
+	res := m.se.Maintain(m.dbwScratch[:0])
+	if res.Blocks != nil {
+		m.dbwScratch = res.Blocks
 	}
 	if m.prof != nil {
-		m.osShares = addShare(m.osShares, profile.KindDBWriter, odb.PhaseSyscall, osInstr)
+		m.osShares = addShare(m.osShares, profile.KindDBWriter, res.Phase, res.OSInstr)
 	}
-	cycles := m.price(cpuID, p.ID, 0, osInstr, blocks)
-	return osker.Outcome{Cycles: cycles, Instr: osInstr, Block: true}
+	cycles := m.price(cpuID, p.ID, 0, res.OSInstr, res.Blocks)
+	return osker.Outcome{Cycles: cycles, Instr: res.OSInstr, Block: true}
 }
 
 // evictWrite counts a foreground dirty-eviction write.
@@ -656,6 +708,7 @@ func (m *machine) reset() {
 	m.domain.ResetStats()
 	m.sched.ResetStats()
 	m.lm.ResetStats()
+	m.se.ResetStats()
 }
 
 // price synthesizes the chunk's reference activity and converts the event
@@ -799,5 +852,21 @@ func (m *machine) metrics() Metrics {
 	}
 	out.BufferHitRatio = m.bc.Stats().HitRatio()
 	out.LockConflicts = float64(m.lm.Stats().Conflicts) / txns
+
+	// Per-engine amplification: physical write volume includes the
+	// system layer's foreground dirty evictions, read volume is the
+	// executed foreground block reads over the rows the workload asked
+	// for, space is the instantaneous on-disk footprint over live data.
+	out.Engine = m.se.Name()
+	ec := m.se.Counters()
+	if ec.LogicalWriteBytes > 0 {
+		physW := float64(ec.PhysicalWriteBytes) + float64(m.evictWr)*odb.BlockSize
+		out.WriteAmp = physW / float64(ec.LogicalWriteBytes)
+	}
+	if ec.LogicalReads > 0 {
+		out.ReadAmp = float64(m.fgReads) / float64(ec.LogicalReads)
+	}
+	out.SpaceAmp = ec.SpaceAmp()
+	out.WriteStallsPerTxn = float64(ec.WriteStalls) / txns
 	return out
 }

@@ -38,7 +38,10 @@ type Manifest struct {
 	// (cmd/ binaries, or the campaign runner via its injected clock).
 	CreatedAt string `json:"created_at,omitempty"`
 
-	Seed        int64           `json:"seed"`
+	Seed int64 `json:"seed"`
+	// Engine names the storage engine the run executed on (internal/
+	// engine registry name); empty in manifests predating the field.
+	Engine      string          `json:"engine,omitempty"`
 	Config      json.RawMessage `json:"config,omitempty"` // full system/campaign configuration
 	Provenance  Provenance      `json:"provenance"`
 	Phases      []PhaseSpan     `json:"phases,omitempty"`       // per-phase sim durations
@@ -65,7 +68,7 @@ func NewManifest(tool string, seed int64) *Manifest {
 				"determinism", "maporder", "sentinelerr", "floateq", "ctxloop", "hotwaiver",
 				"taintdet", "hotalloc", "laneshare",
 			},
-			Tier1:     "go build ./... && go test ./... && odblint ./...",
+			Tier1: "go build ./... && go test ./... && odblint ./...",
 		},
 	}
 }

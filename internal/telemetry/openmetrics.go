@@ -152,6 +152,9 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 		o.gauge("odb_l3_mpi", "interval L3 misses per instruction", s.L3MPI)
 		o.gauge("odb_bus_util", "front-side bus utilization", s.BusUtil)
 		o.gauge("odb_buffer_hit_ratio", "interval buffer-cache hit ratio", s.BufferHit)
+		o.gauge("odb_write_amp", "interval physical/logical write-byte ratio", s.WriteAmp)
+		o.gauge("odb_read_amp", "interval block reads per logical row read", s.ReadAmp)
+		o.gauge("odb_space_amp", "on-disk blocks per live-data block", s.SpaceAmp)
 		o.gauge("odb_run_queue", "ready-queue depth", float64(s.RunQueue))
 		o.gauge("odb_io_in_flight", "outstanding data-block reads", float64(s.IOInFlight))
 		o.header("odb_cpu_util", "gauge", "per-CPU interval busy fraction")

@@ -21,12 +21,15 @@ type Sample struct {
 	L2MPI     float64   `json:"l2_mpi"`     // L2 misses per instruction
 	L3MPI     float64   `json:"l3_mpi"`     // L3 misses per instruction
 	BufferHit float64   `json:"buffer_hit"` // buffer-cache hit ratio
+	WriteAmp  float64   `json:"write_amp"`  // interval physical/logical write bytes
+	ReadAmp   float64   `json:"read_amp"`   // interval block reads per logical row read
 	CPUUtil   []float64 `json:"cpu_util"`   // per-CPU busy fraction
 
 	// Levels at the sample instant.
 	BusUtil    float64 `json:"bus_util"`     // FSB utilization
 	RunQueue   int     `json:"run_queue"`    // ready-queue depth
 	IOInFlight int     `json:"io_in_flight"` // outstanding data-block reads
+	SpaceAmp   float64 `json:"space_amp"`    // on-disk blocks per live-data block
 	Txns       uint64  `json:"txns"`         // cumulative commits since simulation start
 }
 

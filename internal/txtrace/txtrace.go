@@ -94,12 +94,12 @@ type Trace struct {
 // I/O wait, buffer busy wait and run-queue wait. All fields are integer
 // cycles and Total reconstructs the window exactly.
 type Breakdown struct {
-	CPUPhase [odb.NumPhases]sim.Time     `json:"cpuPhase"`
-	CPUOther sim.Time                    `json:"cpuOther"`
+	CPUPhase [odb.NumPhases]sim.Time      `json:"cpuPhase"`
+	CPUOther sim.Time                     `json:"cpuOther"`
 	Lock     [odb.NumLockClasses]sim.Time `json:"lock"`
-	IO       sim.Time                    `json:"io"`
-	Busy     sim.Time                    `json:"busy"`
-	Queue    sim.Time                    `json:"queue"`
+	IO       sim.Time                     `json:"io"`
+	Busy     sim.Time                     `json:"busy"`
+	Queue    sim.Time                     `json:"queue"`
 }
 
 // add accumulates the segments into b.
