@@ -15,6 +15,7 @@ import (
 
 	"odbscale"
 	"odbscale/internal/experiment"
+	"odbscale/internal/qstats"
 	"odbscale/internal/system"
 	"odbscale/internal/telemetry"
 )
@@ -545,4 +546,57 @@ func BenchmarkRunObservers(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkQueueStats measures the queueing observatory's cost on the
+// bench trajectory workload: "off" is the plain simulator, "on" attaches
+// WithQueueStats. The tentpole contract is that "on" stays within 2% of
+// "off" — station accumulation is inline arithmetic at event sites the
+// simulator already executes.
+func BenchmarkQueueStats(b *testing.B) {
+	cfg := system.DefaultConfig(200, system.HeuristicClients(200, 4), 4)
+	cfg.MeasureTxns = 1200
+	cfg.WarmupTxns = 300
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := system.Run(context.Background(), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			col := qstats.NewCollector()
+			if _, err := system.Run(context.Background(), cfg, system.WithQueueStats(col)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStationAccumulation pins the hot-path allocation contract of
+// the accumulators themselves: Arrive/Complete/Visit and the derived
+// Build must not allocate per call — they run inside the per-chunk
+// event path of every run that attaches the observatory.
+func BenchmarkStationAccumulation(b *testing.B) {
+	var st qstats.Station
+	in := new(qstats.Input)
+	in.ElapsedCycles = 1e9
+	in.CyclesPerMS = 1e6
+	in.Commits = 1000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Arrive()
+		st.Complete(100, 400)
+		st.Visit(10, 50)
+		in.Counts[qstats.Disk] = st.Counts()
+	}
+	if testing.AllocsPerRun(100, func() {
+		st.Arrive()
+		st.Complete(100, 400)
+		st.Visit(10, 50)
+	}) != 0 {
+		b.Fatal("station accumulation allocates on the hot path")
+	}
 }

@@ -40,8 +40,33 @@ type TraceSource interface {
 	WriteTraces(io.Writer) error
 }
 
-// contentTypeOM is the OpenMetrics exposition content type.
-const contentTypeOM = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+// BottleneckSource is the optional queueing-observatory endpoint:
+// sources that carry per-resource service-center reports (e.g.
+// *qstats.Collector for one run, *qstats.Store for a campaign, or a
+// combined source wrapping either) additionally get /bottlenecks.
+type BottleneckSource interface {
+	WriteBottlenecks(io.Writer) error
+}
+
+// HealthSource lets a source provide a richer /healthz payload (run
+// state plus sample counts); sources without it get a minimal static
+// one.
+type HealthSource interface {
+	WriteHealth(io.Writer) error
+}
+
+// TimelineCSVSource lets a source serve /timeline?format=csv; sources
+// without it only speak JSON on that endpoint.
+type TimelineCSVSource interface {
+	WriteTimelineCSV(io.Writer) error
+}
+
+// Exposition content types.
+const (
+	contentTypeOM   = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+	contentTypeJSON = "application/json; charset=utf-8"
+	contentTypeCSV  = "text/csv; charset=utf-8"
+)
 
 // handler renders one endpoint into a buffer first, so a render error
 // becomes a clean 500 instead of a truncated body.
@@ -58,21 +83,46 @@ func handler(contentType string, write func(io.Writer) error) http.HandlerFunc {
 }
 
 // NewMux routes the flight-recorder endpoints over src, adding
-// /profile when src also carries cycle-attribution profiles and
-// /traces when it carries sampled transaction spans.
+// /profile when src also carries cycle-attribution profiles, /traces
+// when it carries sampled transaction spans, and /bottlenecks when it
+// carries queueing-observatory reports. /healthz is always present.
 func NewMux(src Source) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", handler(contentTypeOM, src.WriteMetrics))
-	mux.HandleFunc("/timeline", handler("application/json", src.WriteTimeline))
-	mux.HandleFunc("/progress", handler("application/json", src.WriteProgress))
-	index := "odbscale flight recorder: /metrics /timeline /progress"
+	timelineJSON := handler(contentTypeJSON, src.WriteTimeline)
+	if cs, ok := src.(TimelineCSVSource); ok {
+		timelineCSV := handler(contentTypeCSV, cs.WriteTimelineCSV)
+		mux.HandleFunc("/timeline", func(w http.ResponseWriter, req *http.Request) {
+			if req.URL.Query().Get("format") == "csv" {
+				timelineCSV(w, req)
+				return
+			}
+			timelineJSON(w, req)
+		})
+	} else {
+		mux.HandleFunc("/timeline", timelineJSON)
+	}
+	mux.HandleFunc("/progress", handler(contentTypeJSON, src.WriteProgress))
+	if hs, ok := src.(HealthSource); ok {
+		mux.HandleFunc("/healthz", handler(contentTypeJSON, hs.WriteHealth))
+	} else {
+		mux.HandleFunc("/healthz", handler(contentTypeJSON, func(w io.Writer) error {
+			_, err := io.WriteString(w, "{\"status\":\"ok\"}\n")
+			return err
+		}))
+	}
+	index := "odbscale flight recorder: /metrics /timeline /progress /healthz"
 	if ps, ok := src.(ProfileSource); ok {
-		mux.HandleFunc("/profile", handler("application/json", ps.WriteProfiles))
+		mux.HandleFunc("/profile", handler(contentTypeJSON, ps.WriteProfiles))
 		index += " /profile"
 	}
 	if ts, ok := src.(TraceSource); ok {
-		mux.HandleFunc("/traces", handler("application/json", ts.WriteTraces))
+		mux.HandleFunc("/traces", handler(contentTypeJSON, ts.WriteTraces))
 		index += " /traces"
+	}
+	if bs, ok := src.(BottleneckSource); ok {
+		mux.HandleFunc("/bottlenecks", handler(contentTypeJSON, bs.WriteBottlenecks))
+		index += " /bottlenecks"
 	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {

@@ -82,7 +82,7 @@ func TestMuxEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ct != "application/json" {
+	if ct != contentTypeJSON {
 		t.Errorf("/timeline content type = %q", ct)
 	}
 	var tlDoc struct {
@@ -151,7 +151,7 @@ func TestProfileEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ct != "application/json" {
+	if ct != contentTypeJSON {
 		t.Errorf("/profile content type = %q", ct)
 	}
 	var entries []struct {
@@ -238,7 +238,7 @@ func TestTraceEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ct != "application/json" {
+	if ct != contentTypeJSON {
 		t.Errorf("/traces content type = %q", ct)
 	}
 	var d txtrace.Dump

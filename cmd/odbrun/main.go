@@ -15,12 +15,19 @@
 // plus the slowest per type) and writes the trace dump as JSON for
 // cmd/odbspan; with -listen it is also served live on /traces.
 //
+// The queueing observatory rides along too: -qstats collects
+// per-resource service-center metrics (arrivals, utilization, wait
+// demand, operational-law audit) and writes the report as JSON for
+// cmd/odbq ("-" prints the text report instead); with -listen the
+// ranking is also served live on /bottlenecks. A -timeline path ending
+// in .csv switches the dump from JSON to the flat CSV table.
+//
 // Usage:
 //
 //	odbrun [-w warehouses] [-c clients] [-p processors] [-seed n]
 //	       [-machine xeon|itanium2] [-engine btree|lsm] [-txns n]
-//	       [-nocoherence] [-json] [-listen addr] [-timeline file]
-//	       [-sample ms] [-spans file] [-spanhead n]
+//	       [-nocoherence] [-json] [-listen addr] [-timeline file[.csv]]
+//	       [-sample ms] [-spans file] [-spanhead n] [-qstats file]
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 
 	"odbscale/cmd/internal/live"
 	"odbscale/internal/engine"
+	"odbscale/internal/qstats"
 	"odbscale/internal/system"
 	"odbscale/internal/telemetry"
 	"odbscale/internal/txtrace"
@@ -43,9 +51,25 @@ import (
 
 // spannedSource serves the flight recorder plus the span tracer — the
 // shape odbrun's live server takes when both -listen and -spans are on.
+// The other observer combinations get their own concrete types below:
+// a nil embedded field would still advertise its endpoint to the mux's
+// type assertions, so each combination must only embed what it has.
 type spannedSource struct {
 	*telemetry.Recorder
 	*txtrace.Tracer
+}
+
+// queuedSource adds the queueing observatory's /bottlenecks.
+type queuedSource struct {
+	*telemetry.Recorder
+	*qstats.Collector
+}
+
+// observedSource is the full rig: spans and station metrics together.
+type observedSource struct {
+	*telemetry.Recorder
+	*txtrace.Tracer
+	*qstats.Collector
 }
 
 // report is the -json output document.
@@ -77,6 +101,7 @@ func main() {
 	sampleMS := flag.Float64("sample", 100, "timeline sample interval in simulated milliseconds")
 	spansOut := flag.String("spans", "", "trace transaction spans and write the dump as JSON to this file")
 	spanHead := flag.Int("spanhead", txtrace.DefaultHeadEvery, "head-sample every Nth measured transaction (-1 disables head sampling)")
+	qstatsOut := flag.String("qstats", "", "collect service-center metrics and write the report as JSON to this file (\"-\" prints the text report)")
 	flag.Parse()
 
 	cfg := system.DefaultConfig(*w, *c, *p)
@@ -104,13 +129,24 @@ func main() {
 	if *spansOut != "" {
 		spans = txtrace.NewTracer(txtrace.Config{HeadEvery: *spanHead})
 	}
+	var qc *qstats.Collector
+	if *qstatsOut != "" {
+		qc = qstats.NewCollector()
+	}
 	var srv *live.Server
 	if *listen != "" {
 		var src live.Source = rec
-		endpoints := "/metrics /timeline /progress"
-		if spans != nil {
+		endpoints := "/metrics /timeline /progress /healthz"
+		switch {
+		case spans != nil && qc != nil:
+			src = observedSource{rec, spans, qc}
+			endpoints += " /traces /bottlenecks"
+		case spans != nil:
 			src = spannedSource{rec, spans}
 			endpoints += " /traces"
+		case qc != nil:
+			src = queuedSource{rec, qc}
+			endpoints += " /bottlenecks"
 		}
 		var err error
 		srv, err = live.Serve(*listen, src)
@@ -123,6 +159,9 @@ func main() {
 	opts := []system.Option{system.WithRecorder(rec)}
 	if spans != nil {
 		opts = append(opts, system.WithSpans(spans))
+	}
+	if qc != nil {
+		opts = append(opts, system.WithQueueStats(qc))
 	}
 	started := time.Now()
 	m, err := system.Run(context.Background(), cfg, opts...)
@@ -149,11 +188,41 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := rec.WriteTimeline(f); err != nil {
+		// The extension picks the encoding: .csv gets the flat table
+		// (one row per sample, stations flattened into columns), any
+		// other path keeps the JSON sample series.
+		dump := rec.WriteTimeline
+		if strings.HasSuffix(*timelineOut, ".csv") {
+			dump = rec.WriteTimelineCSV
+		}
+		if err := dump(f); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
+		}
+	}
+
+	if qc != nil {
+		rep := qc.Report()
+		if rep == nil {
+			log.Fatal("qstats: run finished without publishing a station report")
+		}
+		if *qstatsOut == "-" {
+			if err := rep.WriteText(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			f, err := os.Create(*qstatsOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 

@@ -36,6 +36,13 @@
 // -listen, and after the campaign each processor lane prints the
 // wait-state shift across the pivot. -spandir writes each point's dump
 // JSON to a directory for offline odbspan analysis.
+//
+// -qstats turns on the queueing observatory: every point runs under
+// system.Run with WithQueueStats, per-point station reports persist in
+// the checkpoint, the store is served on /bottlenecks alongside
+// -listen, and after the campaign each processor lane prints the
+// bottleneck-shift table across the warehouse sweep. -qstatsdir writes
+// each point's report JSON to a directory for offline odbq analysis.
 package main
 
 import (
@@ -55,6 +62,7 @@ import (
 	"odbscale/internal/engine"
 	"odbscale/internal/experiment"
 	"odbscale/internal/profile"
+	"odbscale/internal/qstats"
 	"odbscale/internal/system"
 	"odbscale/internal/telemetry"
 	"odbscale/internal/txtrace"
@@ -72,6 +80,13 @@ type flightSource struct {
 type spanSource struct {
 	live.Source
 	*txtrace.Store
+}
+
+// qstatSource adds the queueing-observatory store, exposing
+// /bottlenecks as well.
+type qstatSource struct {
+	live.Source
+	*qstats.Store
 }
 
 func parseInts(s string) []int {
@@ -106,6 +121,8 @@ func main() {
 	profileDir := flag.String("profiledir", "", "with -profile, write each point's profile JSON into this directory")
 	spansFlag := flag.Bool("spans", false, "run every point under the span tracer and print the wait-state shift across the pivot")
 	spanDir := flag.String("spandir", "", "with -spans, write each point's trace dump JSON into this directory")
+	qstatsFlag := flag.Bool("qstats", false, "run every point under the queueing observatory and print the bottleneck-shift table across the sweep")
+	qstatsDir := flag.String("qstatsdir", "", "with -qstats, write each point's station report JSON into this directory")
 	csv := flag.Bool("csv", false, "CSV output")
 	jsonOut := flag.Bool("json", false, "JSON output (one object per point)")
 	quiet := flag.Bool("quiet", false, "suppress the stderr progress line")
@@ -162,6 +179,11 @@ func main() {
 		spans = txtrace.NewStore(txtrace.Config{})
 		spec.Spans = spans
 	}
+	var stations *qstats.Store
+	if *qstatsFlag || *qstatsDir != "" {
+		stations = qstats.NewStore()
+		spec.QueueStats = stations
+	}
 
 	if *listen != "" {
 		flight := telemetry.NewCampaignRecorder(telemetry.Config{})
@@ -175,6 +197,10 @@ func main() {
 		if spans != nil {
 			src = spanSource{src, spans}
 			endpoints += " /traces"
+		}
+		if stations != nil {
+			src = qstatSource{src, stations}
+			endpoints += " /bottlenecks"
 		}
 		srv, err := live.Serve(*listen, src)
 		if err != nil {
@@ -226,6 +252,9 @@ func main() {
 	}
 	if spans != nil {
 		emitSpans(spans, warehouses, processors, *spanDir)
+	}
+	if stations != nil {
+		emitQStats(stations, warehouses, processors, *qstatsDir)
 	}
 }
 
@@ -309,6 +338,52 @@ func emitSpans(st *txtrace.Store, warehouses, processors []int, dir string) {
 		fmt.Printf("\nwait-state shift across the pivot, P=%d (%s -> %s):\n",
 			p, lo.Meta.Label, hi.Meta.Label)
 		if err := txtrace.WriteDiff(os.Stdout, lo, hi); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// emitQStats post-processes the campaign's station-report store:
+// optionally write each point's report JSON to dir, then print the
+// bottleneck-shift table — wait demand per station down the warehouse
+// sweep — for each processor lane.
+func emitQStats(st *qstats.Store, warehouses, processors []int, dir string) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, key := range st.Keys() {
+			r := st.Get(key)
+			name := strings.NewReplacer("=", "", ",", "-").Replace(key) + ".json"
+			f, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := r.WriteJSON(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		log.Printf("wrote %d station reports to %s", len(st.Keys()), dir)
+	}
+	if len(warehouses) < 2 {
+		return
+	}
+	for _, p := range processors {
+		var reports []*qstats.Report
+		for _, w := range warehouses {
+			if r := st.Get(telemetry.PointName(w, p)); r != nil {
+				reports = append(reports, r)
+			}
+		}
+		if len(reports) < 2 {
+			continue
+		}
+		fmt.Println()
+		if err := qstats.WriteShiftTable(os.Stdout, reports); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -12,7 +12,10 @@
 // direct CPU stall.
 package bus
 
-import "odbscale/internal/sim"
+import (
+	"odbscale/internal/qstats"
+	"odbscale/internal/sim"
+)
 
 // Config sets the bus parameters. The defaults model the paper's
 // ServerWorks Grand Champion HE chipset with PC200 DDR memory.
@@ -86,6 +89,8 @@ type Bus struct {
 	stats      Stats
 	resetAt    sim.Time
 	sampleMult float64 // each observed transaction stands for this many
+
+	qs *qstats.Station // optional bus service-center accumulator
 }
 
 // New builds a bus. sampleMult compensates for cache line sampling: when
@@ -100,6 +105,13 @@ func New(cfg Config, sampleMult float64) *Bus {
 	}
 	return &Bus{cfg: cfg, occupancy: cfg.OccupancyCycles / cfg.BandwidthScale, sampleMult: sampleMult}
 }
+
+// SetStation attaches the queueing observatory's bus station. The
+// station is defined over observed transactions: each one's service is
+// its full sampled-up occupancy (matching the BusyCycles ledger, so the
+// utilization law closes) and its wait is the IOQ latency beyond the
+// zero-load base — the M/G/1 queueing term.
+func (b *Bus) SetStation(st *qstats.Station) { b.qs = st }
 
 func (b *Bus) roll(now sim.Time) {
 	if b.cfg.WindowCycles == 0 {
@@ -128,6 +140,9 @@ func (b *Bus) Transaction(now sim.Time) float64 {
 	lat := b.Latency()
 	b.stats.Transactions++
 	b.stats.LatencySum += lat
+	if b.qs != nil {
+		b.qs.Visit(lat-b.cfg.BaseLatency, b.occupancy*b.sampleMult)
+	}
 	return lat
 }
 
@@ -136,6 +151,9 @@ func (b *Bus) Transaction(now sim.Time) float64 {
 func (b *Bus) Posted(now sim.Time, lines float64) {
 	b.occupy(now, b.occupancy*lines)
 	b.stats.Posted++
+	if b.qs != nil {
+		b.qs.Visit(0, b.occupancy*lines)
+	}
 }
 
 // Latency returns the current IOQ transaction time estimate without

@@ -23,6 +23,7 @@ import (
 
 	"odbscale/internal/clock"
 	"odbscale/internal/profile"
+	"odbscale/internal/qstats"
 	"odbscale/internal/system"
 	"odbscale/internal/telemetry"
 	"odbscale/internal/txtrace"
@@ -111,6 +112,14 @@ type Spec struct {
 	// its telemetry.PointName key. With a CheckpointPath the dump
 	// persists in the checkpoint and survives resume.
 	Spans *txtrace.Store
+
+	// QueueStats, when set, turns on the queueing observatory: every
+	// measurement run executes under system.Run with WithQueueStats and
+	// a fresh collector (alongside the other observers when set), and
+	// each finished point's station report lands in QueueStats under its
+	// telemetry.PointName key. With a CheckpointPath the report persists
+	// in the checkpoint and survives resume.
+	QueueStats *qstats.Store
 }
 
 // fingerprint reduces the spec to its run-defining parameters.
@@ -225,6 +234,22 @@ func defaultSpannedRun(ctx context.Context, cfg system.Config, rec *telemetry.Re
 	return system.Run(ctx, cfg, opts...)
 }
 
+func defaultObservedRun(ctx context.Context, cfg system.Config, rec *telemetry.Recorder,
+	col *profile.Collector, tr *txtrace.Tracer, qc *qstats.Collector) (system.Metrics, error) {
+	opts := make([]system.Option, 0, 4)
+	if rec != nil {
+		opts = append(opts, system.WithRecorder(rec))
+	}
+	if col != nil {
+		opts = append(opts, system.WithProfiler(col))
+	}
+	if tr != nil {
+		opts = append(opts, system.WithSpans(tr))
+	}
+	opts = append(opts, system.WithQueueStats(qc))
+	return system.Run(ctx, cfg, opts...)
+}
+
 // Runner executes campaigns. The zero value with a Spec is ready to
 // use; RunFunc may be overridden to interpose on simulator runs (tests,
 // caching layers).
@@ -250,6 +275,13 @@ type Runner struct {
 	// recorder is nil unless Spec.Flight is also set, the collector nil
 	// unless Spec.Profiles is.
 	SpannedFunc func(ctx context.Context, cfg system.Config, rec *telemetry.Recorder, col *profile.Collector, tr *txtrace.Tracer) (system.Metrics, error)
+
+	// QStatsFunc is the observatory entry point used for measurement
+	// runs when Spec.QueueStats is set; nil means system.Run with
+	// WithQueueStats (plus WithRecorder / WithProfiler / WithSpans for
+	// the non-nil observers). The recorder, collector and tracer are nil
+	// unless Spec.Flight / Spec.Profiles / Spec.Spans are.
+	QStatsFunc func(ctx context.Context, cfg system.Config, rec *telemetry.Recorder, col *profile.Collector, tr *txtrace.Tracer, qc *qstats.Collector) (system.Metrics, error)
 
 	// Clock supplies the wall time behind the Elapsed fields of
 	// progress events; nil means the real clock. Simulated results
@@ -474,6 +506,9 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 				if spec.Spans != nil && pt.Flight.Spans != nil {
 					spec.Spans.Put(name, pt.Flight.Spans)
 				}
+				if spec.QueueStats != nil && pt.Flight.QStats != nil {
+					spec.QueueStats.Put(name, pt.Flight.QStats)
+				}
 			}
 			em.pointFinished(PointResult{
 				Point:   Point{Warehouses: w, Processors: p, Clients: pt.C},
@@ -523,7 +558,29 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 			var rec *telemetry.Recorder
 			var col *profile.Collector
 			var tr *txtrace.Tracer
+			var qc *qstats.Collector
 			switch {
+			case spec.QueueStats != nil:
+				obsFn := r.QStatsFunc
+				if obsFn == nil {
+					obsFn = defaultObservedRun
+				}
+				if fl := spec.Flight; fl != nil {
+					rec = fl.StartRun(name)
+				}
+				if spec.Profiles != nil {
+					col = profile.NewCollector()
+				}
+				if spec.Spans != nil {
+					tr = spec.Spans.NewTracer()
+				}
+				qc = qstats.NewCollector()
+				m, err = pl.do(ctx, func(ctx context.Context) (system.Metrics, error) {
+					return obsFn(ctx, cfg, rec, col, tr, qc)
+				})
+				if fl := spec.Flight; fl != nil {
+					fl.FinishRun(name, err == nil)
+				}
 			case spec.Spans != nil:
 				spanFn := r.SpannedFunc
 				if spanFn == nil {
@@ -579,7 +636,7 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 			// Persist the point's observability payload alongside its
 			// metrics so a resumed campaign restores rather than loses it.
 			var pf *PointFlight
-			if rec != nil || col != nil || tr != nil {
+			if rec != nil || col != nil || tr != nil || qc != nil {
 				pf = &PointFlight{}
 				if rec != nil {
 					pf.Hists = encodeHists(rec.Histograms())
@@ -595,6 +652,14 @@ func (r *Runner) lane(ctx context.Context, p int, pl *pool, ck *ckStore, em *emi
 					d.Meta.Label = name
 					spec.Spans.Put(name, d)
 					pf.Spans = d
+				}
+				if qc != nil {
+					rep := qc.Report()
+					if rep != nil {
+						rep.Meta.Label = name
+						spec.QueueStats.Put(name, rep)
+						pf.QStats = rep
+					}
 				}
 			}
 			em.pointFinished(PointResult{Point: point, Metrics: m, Elapsed: elapsed})

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"odbscale/internal/profile"
+	"odbscale/internal/qstats"
 	"odbscale/internal/system"
 	"odbscale/internal/telemetry"
 	"odbscale/internal/txtrace"
@@ -61,6 +62,7 @@ type PointFlight struct {
 	Hists   map[string]string `json:"hists,omitempty"`
 	Profile *profile.Profile  `json:"profile,omitempty"`
 	Spans   *txtrace.Dump     `json:"spans,omitempty"`
+	QStats  *qstats.Report    `json:"qstats,omitempty"`
 }
 
 // encodeHists converts a run's histograms to the checkpoint wire form.

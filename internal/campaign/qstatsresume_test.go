@@ -1,0 +1,147 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"odbscale/internal/profile"
+	"odbscale/internal/qstats"
+	"odbscale/internal/system"
+	"odbscale/internal/telemetry"
+	"odbscale/internal/txtrace"
+)
+
+// fakeObserved emulates an observatory measurement run: a deterministic
+// station report derived only from the configuration, so two campaigns
+// covering the same points converge on identical per-point reports
+// regardless of interruption.
+type fakeObserved struct {
+	mu    sync.Mutex
+	delay time.Duration
+	runs  int
+}
+
+func (f *fakeObserved) run(ctx context.Context, cfg system.Config, rec *telemetry.Recorder,
+	col *profile.Collector, tr *txtrace.Tracer, qc *qstats.Collector) (system.Metrics, error) {
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return system.Metrics{}, ctx.Err()
+		}
+	} else if err := ctx.Err(); err != nil {
+		return system.Metrics{}, err
+	}
+	f.mu.Lock()
+	f.runs++
+	f.mu.Unlock()
+	w := cfg.Warehouses
+	if qc != nil {
+		in := &qstats.Input{
+			Meta:          qstats.Meta{Warehouses: w, Clients: cfg.Clients, Processors: cfg.Processors, Seed: cfg.Seed},
+			ElapsedCycles: 1e9,
+			CyclesPerMS:   1e6,
+			Commits:       uint64(cfg.MeasureTxns),
+		}
+		in.Counts[qstats.Disk] = qstats.Counts{
+			Arrivals: uint64(w), Completions: uint64(w),
+			BusyCycles: float64(w) * 1e6, WaitCycles: float64(w) * 5e5,
+		}
+		in.Servers[qstats.Disk] = 4
+		qc.Publish(qstats.Build(in))
+	}
+	return system.Metrics{
+		Warehouses: w, Clients: cfg.Clients, Processors: cfg.Processors,
+		Txns: uint64(cfg.MeasureTxns),
+	}, nil
+}
+
+// TestQueueStatsKillResumeRestoresReports is the queue-stats store's
+// crash-consistency guarantee: a campaign killed mid-flight and resumed
+// with a fresh store must converge on exactly the per-point station
+// reports of an uninterrupted campaign — completed points come back from
+// the checkpoint, not from re-runs.
+func TestQueueStatsKillResumeRestoresReports(t *testing.T) {
+	total := len(testWarehouses) * len(testProcessors)
+	specFor := func(path string) (Spec, *qstats.Store) {
+		spec := testSpec()
+		spec.AutoTune = false
+		spec.Clients = 8
+		spec.CheckpointPath = path
+		st := qstats.NewStore()
+		spec.QueueStats = st
+		return spec, st
+	}
+	dir := t.TempDir()
+
+	// Reference: uninterrupted campaign.
+	specA, stA := specFor(filepath.Join(dir, "ckA.json"))
+	fsA := &fakeObserved{}
+	if _, err := (&Runner{Spec: specA, QStatsFunc: fsA.run}).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill after three successful points.
+	pathB := filepath.Join(dir, "ckB.json")
+	specB, _ := specFor(pathB)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := &recorder{onFinished: func(successes int) {
+		if successes == 3 {
+			cancel()
+		}
+	}}
+	specB.Observer = obs
+	fsB := &fakeObserved{delay: 2 * time.Millisecond}
+	if _, err := (&Runner{Spec: specB, QStatsFunc: fsB.run}).Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled campaign returned %v, want context.Canceled", err)
+	}
+	killed := len(obs.successes())
+	if killed < 3 || killed >= total {
+		t.Fatalf("kill finished %d of %d points — cancellation did not interrupt", killed, total)
+	}
+
+	// Resume against the same checkpoint with a fresh store.
+	specC, stC := specFor(pathB)
+	specC.Resume = true
+	fsC := &fakeObserved{}
+	res, err := (&Runner{Spec: specC, QStatsFunc: fsC.run}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PointsResumed != killed {
+		t.Fatalf("resumed %d points, checkpoint held %d", res.Summary.PointsResumed, killed)
+	}
+	if fsC.runs != total-killed {
+		t.Fatalf("resume executed %d runs, want the %d incomplete points", fsC.runs, total-killed)
+	}
+
+	// Per-point reports — restored ones included — must match exactly.
+	keysA, keysC := stA.Keys(), stC.Keys()
+	sort.Strings(keysA)
+	sort.Strings(keysC)
+	if !reflect.DeepEqual(keysA, keysC) {
+		t.Fatalf("queue-stats store keys differ:\n%v\n%v", keysA, keysC)
+	}
+	if len(keysA) != total {
+		t.Fatalf("store holds %d reports, want %d", len(keysA), total)
+	}
+	for _, k := range keysA {
+		ra, rc := stA.Get(k), stC.Get(k)
+		if !reflect.DeepEqual(ra, rc) {
+			t.Errorf("report %q differs after kill/resume:\nuninterrupted %+v\nresumed       %+v", k, ra, rc)
+		}
+		if ra.Meta.Label != k {
+			t.Errorf("report %q labeled %q, want the point name", k, ra.Meta.Label)
+		}
+		if ra.Bottleneck != "disk" {
+			t.Errorf("report %q bottleneck %q, want disk", k, ra.Bottleneck)
+		}
+	}
+}

@@ -28,6 +28,7 @@ var determinismScope = map[string]bool{
 	"odbscale/internal/bus":          true,
 	"odbscale/internal/storage":      true,
 	"odbscale/internal/txtrace":      true, // span sampling must be seed-reproducible
+	"odbscale/internal/qstats":       true, // station reports feed checkpointed campaigns
 }
 
 // Determinism forbids ambient entropy — wall clocks, the global

@@ -22,6 +22,7 @@ var hotAllocScope = map[string]bool{
 	"odbscale/internal/engine/btree": true,
 	"odbscale/internal/engine/lsm":   true, // read-path draws and MemWrite run per op
 	"odbscale/internal/txtrace":      true, // per-commit span path pools trace records
+	"odbscale/internal/qstats":       true, // station accumulation rides every event
 }
 
 // HotAlloc flags allocation patterns inside functions on the per-event

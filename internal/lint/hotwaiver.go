@@ -22,6 +22,7 @@ var hotPathScope = map[string]bool{
 	"odbscale/internal/workload":     true,
 	"odbscale/internal/system":       true,
 	"odbscale/internal/txtrace":      true,
+	"odbscale/internal/qstats":       true, // station accumulation rides every event
 }
 
 // perfReasonMarkers are the substrings (matched case-insensitively) that

@@ -74,6 +74,7 @@ func TestFixtures(t *testing.T) {
 		// contribute nothing.
 		{"determinism", simScope},
 		{"telemetry", "odbscale/internal/telemetry"},
+		{"qstats", "odbscale/internal/qstats"},
 		{"profile", "odbscale/internal/profile"},
 		{"maporder", "odbscale/internal/lint/fixture/maporder"},
 		{"sentinelerr", "odbscale/internal/lint/fixture/sentinelerr"},
@@ -128,6 +129,34 @@ func TestEngineScopeCovered(t *testing.T) {
 		if got := runFixture(t, "hotwaiver", path); len(got) == 0 {
 			t.Errorf("hotwaiver corpus produced no findings under %s", path)
 		}
+	}
+}
+
+// TestQStatsScopeCovered pins the queueing-observatory package into the
+// determinism, hot-alloc and hot-path scopes, and checks its corpus: a
+// station accumulator that read the wall clock or drew ambient entropy
+// would silently break the bit-identity pin of WithQueueStats, and an
+// allocation on the accumulation path would break the observation-only
+// overhead contract.
+func TestQStatsScopeCovered(t *testing.T) {
+	const path = "odbscale/internal/qstats"
+	if !determinismScope[path] {
+		t.Errorf("%s missing from determinismScope", path)
+	}
+	if !hotAllocScope[path] {
+		t.Errorf("%s missing from hotAllocScope", path)
+	}
+	if !hotPathScope[path] {
+		t.Errorf("%s missing from hotPathScope", path)
+	}
+	if got := runFixture(t, "qstats", path); len(got) == 0 {
+		t.Error("qstats corpus produced no findings under its scope")
+	} else {
+		checkGolden(t, "qstats", got)
+	}
+	// The same corpus outside the simulator scopes stays clean.
+	if got := runFixture(t, "qstats", "odbscale/internal/lint/fixture/unscoped"); len(got) != 0 {
+		t.Errorf("qstats rules fired outside their package scope:\n%s", strings.Join(got, "\n"))
 	}
 }
 

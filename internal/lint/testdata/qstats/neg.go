@@ -1,0 +1,27 @@
+package fixture
+
+// counts mimics the exported accumulator snapshot: pure arithmetic on
+// caller-supplied cycle counts is the sanctioned form.
+type counts struct {
+	arrivals    uint64
+	completions uint64
+	busyCycles  float64
+	waitCycles  float64
+}
+
+// visit folds one completed visit from simulated cycle counts — no
+// clock, no entropy.
+func (c *counts) visit(wait, service float64) {
+	c.arrivals++
+	c.completions++
+	c.busyCycles += service
+	c.waitCycles += wait
+}
+
+// utilization derives U from the accumulators and the elapsed window.
+func (c *counts) utilization(elapsedCycles float64, servers int) float64 {
+	if servers <= 0 || elapsedCycles <= 0 {
+		return 0
+	}
+	return c.busyCycles / (elapsedCycles * float64(servers))
+}

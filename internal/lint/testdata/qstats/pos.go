@@ -1,0 +1,29 @@
+// Package fixture is a lint test corpus for the qstats determinism
+// scope: a service-center accumulator that stamps visits from the wall
+// clock instead of simulated cycles. Loaded as odbscale/internal/qstats,
+// every entropy call below must be flagged.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// station mimics a service-center accumulator.
+type station struct {
+	arrivals uint64
+	busy     float64
+	lastAt   time.Time
+}
+
+// arrive is the regression the rule must catch: station timestamps must
+// be simulated cycles supplied by the caller, never the wall clock, and
+// sampling decisions must draw from the seeded xrand source.
+func (s *station) arrive(started time.Time) {
+	s.arrivals++
+	s.lastAt = time.Now()
+	s.busy += time.Since(started).Seconds()
+	if rand.Float64() < 0.01 {
+		s.arrivals++ // "sampled" visit — nondeterministic across reruns
+	}
+}

@@ -16,6 +16,7 @@ package osker
 import (
 	"fmt"
 
+	"odbscale/internal/qstats"
 	"odbscale/internal/sim"
 )
 
@@ -38,6 +39,14 @@ type Proc struct {
 	quantumUsed uint64
 	pendingWake bool
 	readyAt     sim.Time // when the process last entered the ready queue
+
+	// Episode accumulators for the queueing observatory: one episode
+	// spans wake/admit to block, possibly through several dispatches and
+	// preemptions. epWait sums ready-but-undispatched cycles, epBusy the
+	// on-CPU cycles (including charged context switches); both fold into
+	// the CPU station when the episode ends.
+	epWait float64
+	epBusy float64
 }
 
 // State returns the process's scheduling state.
@@ -113,6 +122,8 @@ type Scheduler struct {
 	stats   Stats
 	resetAt sim.Time
 	stopped bool
+
+	qs *qstats.Station // optional CPU service-center accumulator
 }
 
 // New builds a scheduler. All CPUs start idle.
@@ -133,10 +144,18 @@ func New(eng *sim.Engine, cfg Config, run RunFunc, sw SwitchFunc) *Scheduler {
 	return s
 }
 
+// SetStation attaches the queueing observatory's CPU station. Purely
+// observational: the scheduler only accumulates into it, never reads
+// it.
+func (s *Scheduler) SetStation(st *qstats.Station) { s.qs = st }
+
 // Admit adds a new process to the ready queue and kicks an idle CPU.
 func (s *Scheduler) Admit(p *Proc) {
 	p.state = Ready
 	p.readyAt = s.eng.Now()
+	if s.qs != nil {
+		s.qs.Arrive()
+	}
 	s.ready = append(s.ready, p)
 	s.kick()
 }
@@ -156,6 +175,9 @@ func (s *Scheduler) Wake(p *Proc) {
 	}
 	p.state = Ready
 	p.readyAt = s.eng.Now()
+	if s.qs != nil {
+		s.qs.Arrive()
+	}
 	s.ready = append(s.ready, p)
 	s.kick()
 }
@@ -210,6 +232,16 @@ func (s *Scheduler) dispatch(cpu int, except *Proc) {
 	p.state = Running
 	p.quantumUsed = 0
 	c.current = p
+	if s.qs != nil {
+		// Run-queue wait since the process became ready, clamped to the
+		// measurement window so episodes in flight at reset don't leak
+		// pre-window cycles into the station.
+		start := p.readyAt
+		if start < s.resetAt {
+			start = s.resetAt
+		}
+		p.epWait += float64(s.eng.Now() - start)
+	}
 
 	// A dispatch counts as a context switch when a different process
 	// enters than the one that last ran here; the departure side of a
@@ -222,6 +254,7 @@ func (s *Scheduler) dispatch(cpu int, except *Proc) {
 			switchCost = s.sw(p, cpu)
 			s.stats.BusyCycles += float64(switchCost)
 			c.busy += float64(switchCost)
+			p.epBusy += float64(switchCost)
 		}
 	}
 	c.last = p
@@ -245,6 +278,7 @@ func (s *Scheduler) step(cpu int, p *Proc) {
 	s.stats.BusyCycles += float64(out.Cycles)
 	c := &s.cpus[cpu]
 	c.busy += float64(out.Cycles)
+	p.epBusy += float64(out.Cycles)
 	p.quantumUsed += out.Instr
 	c.pendingOut = out
 	s.eng.AfterCall(out.Cycles, s.finishCb, c)
@@ -265,10 +299,19 @@ func (s *Scheduler) finishCall(arg any) {
 		s.stats.Blocks++
 		s.stats.ContextSwitches++ // the process switches off the CPU
 		c.current = nil
+		if s.qs != nil {
+			// The episode ends where the process leaves the CPU.
+			s.qs.Complete(p.epWait, p.epBusy)
+			p.epWait = 0
+			p.epBusy = 0
+		}
 		if p.pendingWake {
 			p.pendingWake = false
 			p.state = Ready
 			p.readyAt = s.eng.Now()
+			if s.qs != nil {
+				s.qs.Arrive()
+			}
 			s.ready = append(s.ready, p)
 		} else {
 			p.state = Blocked
@@ -354,6 +397,25 @@ func (s *Scheduler) ResetStats() {
 		s.cpus[i].busy = 0
 		if s.cpus[i].idle && s.cpus[i].idleSince < s.resetAt {
 			s.cpus[i].idleSince = s.resetAt
+		}
+		// Episodes in flight at the boundary restart their accumulators
+		// so pre-window cycles stay out of the CPU station — and count
+		// as arrivals into the fresh window, since the customer is
+		// present when observation starts (keeps completions ≤ arrivals
+		// for the law audit).
+		if p := s.cpus[i].current; p != nil {
+			p.epWait = 0
+			p.epBusy = 0
+			if s.qs != nil {
+				s.qs.Arrive()
+			}
+		}
+	}
+	for _, p := range s.ready {
+		p.epWait = 0
+		p.epBusy = 0
+		if s.qs != nil {
+			s.qs.Arrive()
 		}
 	}
 }

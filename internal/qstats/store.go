@@ -1,0 +1,64 @@
+package qstats
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Store collects per-point reports across a campaign, keyed by point
+// name, in insertion order — the qstats sibling of profile.Store and
+// txtrace.Store.
+type Store struct {
+	mu    sync.Mutex
+	keys  []string
+	byKey map[string]*Report
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{byKey: map[string]*Report{}} }
+
+// Put stores a point's report, replacing any previous one.
+func (s *Store) Put(key string, r *Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byKey[key]; !ok {
+		s.keys = append(s.keys, key)
+	}
+	s.byKey[key] = r
+}
+
+// Get returns the report stored for key, or nil.
+func (s *Store) Get(key string) *Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byKey[key]
+}
+
+// Keys returns the stored point names in insertion order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.keys))
+	copy(out, s.keys)
+	return out
+}
+
+// WriteBottlenecks writes every stored report as one JSON array keyed
+// by point name — the /bottlenecks payload when a campaign is being
+// served.
+func (s *Store) WriteBottlenecks(w io.Writer) error {
+	s.mu.Lock()
+	type entry struct {
+		Key    string  `json:"key"`
+		Report *Report `json:"report"`
+	}
+	entries := make([]entry, 0, len(s.keys))
+	for _, k := range s.keys {
+		entries = append(entries, entry{Key: k, Report: s.byKey[k]})
+	}
+	s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(entries)
+}

@@ -1,0 +1,34 @@
+package qstats
+
+import "io"
+
+// WriteShiftTable renders the bottleneck-shift view of a warehouse
+// sweep: one row per report in the given order, the per-commit wait
+// demand of every resource station, and the named bottleneck and
+// saturating resource. Reading down the warehouse axis shows where the
+// primary bottleneck migrates across the cached→scaled pivot.
+func WriteShiftTable(w io.Writer, reports []*Report) error {
+	ew := &errWriter{w: w}
+	if len(reports) > 0 {
+		m := reports[0].Meta
+		ew.printf("bottleneck shift vs W: %s P=%d (Dwait = wait ms per commit)\n",
+			engineLabel(m.Engine), m.Processors)
+	}
+	ew.printf("%6s %5s %8s", "W", "C", "tps")
+	for id := 0; id < NumStations; id++ {
+		if Role(id) == RoleResource {
+			ew.printf(" %10s", stationNames[id])
+		}
+	}
+	ew.printf("  %-10s %-10s %8s\n", "bottleneck", "saturating", "headroom")
+	for _, r := range reports {
+		ew.printf("%6d %5d %8.0f", r.Meta.Warehouses, r.Meta.Clients, r.TPS)
+		for i := range r.Stations {
+			if r.Stations[i].Role == RoleResource {
+				ew.printf(" %10.5f", r.Stations[i].WaitDemandMS)
+			}
+		}
+		ew.printf("  %-10s %-10s %7.1fx\n", orNone(r.Bottleneck), orNone(r.Saturating), r.Headroom)
+	}
+	return ew.err
+}

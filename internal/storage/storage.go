@@ -8,6 +8,7 @@
 package storage
 
 import (
+	"odbscale/internal/qstats"
 	"odbscale/internal/sim"
 	"odbscale/internal/xrand"
 )
@@ -91,6 +92,12 @@ type Array struct {
 
 	stats   Stats
 	resetAt sim.Time
+
+	// Optional queueing-observatory stations: one for the data disks,
+	// one for the log devices. FCFS makes wait and service known at
+	// enqueue time, so each operation is a fused Visit.
+	qsData *qstats.Station
+	qsLog  *qstats.Station
 }
 
 // New builds an array attached to the simulation engine.
@@ -105,6 +112,12 @@ func New(cfg Config, eng *sim.Engine, rng *xrand.Rand) *Array {
 		data: make([]disk, cfg.DataDisks),
 		log:  make([]disk, cfg.LogDisks),
 	}
+}
+
+// SetStations attaches the observatory's disk and log stations.
+func (a *Array) SetStations(data, log *qstats.Station) {
+	a.qsData = data
+	a.qsLog = log
 }
 
 func (a *Array) service(meanMS float64) sim.Time {
@@ -143,6 +156,9 @@ func (a *Array) Read(block uint64, done func()) {
 	complete := a.enqueue(d, svc, true)
 	issued := a.eng.Now()
 	a.stats.Reads++
+	if a.qsData != nil {
+		a.qsData.Visit(float64(complete-svc-issued), float64(svc))
+	}
 	a.eng.At(complete, func() {
 		a.stats.ReadLatencySum += float64(complete - issued)
 		if done != nil {
@@ -158,8 +174,16 @@ func (a *Array) Read(block uint64, done func()) {
 func (a *Array) BackgroundRead(block uint64) {
 	d := &a.data[int(block)%len(a.data)]
 	svc := a.service(a.cfg.AccessMS + a.cfg.TransferMS)
-	a.enqueue(d, svc, true)
+	complete := a.enqueue(d, svc, true)
 	a.stats.BgReads++
+	if a.qsData != nil {
+		// Background operations delay no transaction while they queue, so
+		// only their service (resource consumption) lands in the station —
+		// the posted-write discipline the bus station applies. Their queue
+		// wait would otherwise swamp the foreground wait-demand ranking.
+		a.qsData.Visit(0, float64(svc))
+	}
+	_ = complete
 }
 
 // Write issues an asynchronous data-block writeback (the DB writer's
@@ -167,8 +191,13 @@ func (a *Array) BackgroundRead(block uint64) {
 func (a *Array) Write(block uint64) {
 	d := &a.data[int(block)%len(a.data)]
 	svc := a.service(a.cfg.WriteMS + a.cfg.TransferMS)
-	a.enqueue(d, svc, true)
+	complete := a.enqueue(d, svc, true)
 	a.stats.Writes++
+	if a.qsData != nil {
+		// Posted like BackgroundRead: service only, no queue wait.
+		a.qsData.Visit(0, float64(svc))
+	}
+	_ = complete
 }
 
 // LogWrite issues a sequential write of n blocks to the next log device;
@@ -179,6 +208,9 @@ func (a *Array) LogWrite(blocks int, done func()) {
 	svc := a.service(a.cfg.LogMS + float64(blocks)*a.cfg.TransferMS)
 	complete := a.enqueue(d, svc, false)
 	a.stats.LogWrites++
+	if a.qsLog != nil {
+		a.qsLog.Visit(float64(complete-svc-a.eng.Now()), float64(svc))
+	}
 	if done != nil {
 		a.eng.At(complete, done)
 	} else {

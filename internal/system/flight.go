@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"odbscale/internal/odb"
+	"odbscale/internal/qstats"
 	"odbscale/internal/sim"
 	"odbscale/internal/telemetry"
 )
@@ -27,13 +28,19 @@ type flightSnap struct {
 	fgReads   uint64 // executed foreground block reads (read-amp numerator)
 	logicalR  uint64 // logical row reads (read-amp denominator)
 	busy      []float64
+	qs        [qstats.NumStations]qstats.Counts // zero unless WithQueueStats
 }
 
 // snapFlight reads the cumulative counters at the current instant.
 func (m *machine) snapFlight() flightSnap {
 	bc := m.bc.Stats()
 	ec := m.se.Counters()
+	var qs [qstats.NumStations]qstats.Counts
+	if m.qs != nil {
+		qs = m.qs.Counts()
+	}
 	return flightSnap{
+		qs:        qs,
 		at:        m.eng.Now(),
 		txns:      m.totalTxns,
 		instr:     m.ctr.instructions,
@@ -128,6 +135,34 @@ func (m *machine) flightSample(last, cur flightSnap) telemetry.Sample {
 			s.CPUUtil[i] = u
 		}
 	}
+
+	if m.qs != nil {
+		servers := m.qs.Servers()
+		s.Stations = make([]telemetry.StationSample, qstats.NumStations)
+		for id := 0; id < qstats.NumStations; id++ {
+			st := &s.Stations[id]
+			st.Name = qstats.StationName(id)
+			dBusy := deltaF64(cur.qs[id].BusyCycles, last.qs[id].BusyCycles)
+			dWait := deltaF64(cur.qs[id].WaitCycles, last.qs[id].WaitCycles)
+			dCompl := deltaU64(cur.qs[id].Completions, last.qs[id].Completions)
+			if intervalCycles > 0 {
+				st.QueueLen = (dBusy + dWait) / intervalCycles
+				if n := servers[id]; n > 0 {
+					u := dBusy / (intervalCycles * float64(n))
+					if u > 1 {
+						u = 1
+					}
+					st.Util = u
+				}
+			}
+			if dCompl > 0 {
+				st.WaitMS = dWait / float64(dCompl) / m.cyclesPerMS
+			}
+			if intervalSec > 0 {
+				st.Xps = float64(dCompl) / intervalSec
+			}
+		}
+	}
 	return s
 }
 
@@ -145,6 +180,11 @@ func (m *machine) startFlight() {
 	tick = func() {
 		cur := m.snapFlight()
 		m.rec.PushSample(m.flightSample(last, cur))
+		if m.qs != nil {
+			// Refresh the live /bottlenecks report on the recorder's
+			// cadence — no extra events, the flight tick already exists.
+			m.qs.Publish(m.qsReport())
+		}
 		last = cur
 		m.eng.After(interval, tick)
 	}

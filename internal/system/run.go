@@ -7,6 +7,7 @@ import (
 	"odbscale/internal/cache"
 	"odbscale/internal/perfmon"
 	"odbscale/internal/profile"
+	"odbscale/internal/qstats"
 	"odbscale/internal/telemetry"
 	"odbscale/internal/trace"
 	"odbscale/internal/txtrace"
@@ -25,6 +26,7 @@ type runOpts struct {
 	emonOut    *[]perfmon.Result
 	prof       *profile.Collector
 	spans      *txtrace.Tracer
+	qs         *qstats.Collector
 }
 
 // WithTrace captures every simulated memory reference of the measurement
@@ -74,6 +76,19 @@ func WithProfiler(prof *profile.Collector) Option {
 // is ignored.
 func WithSpans(tr *txtrace.Tracer) Option {
 	return func(o *runOpts) { o.spans = tr }
+}
+
+// WithQueueStats feeds the queueing observatory: every shared service
+// center (CPU run queues, bus, disk and log arrays, lock manager,
+// buffer busy waits, engine writer throttles) accumulates arrivals,
+// completions, busy and waiting time into the collector's stations, a
+// derived report is published at every flight-recorder tick, and the
+// final report — utilization, throughput, service/wait times, queue
+// lengths, operational-law residuals, bottleneck ranking — is published
+// when the run completes. Strictly observational: no randomness, no
+// scheduled events, bit-identical metrics. A nil collector is ignored.
+func WithQueueStats(c *qstats.Collector) Option {
+	return func(o *runOpts) { o.qs = c }
 }
 
 // Run executes one configuration and returns its metrics. It is the
@@ -142,6 +157,19 @@ func Run(ctx context.Context, cfg Config, opts ...Option) (Metrics, error) {
 	m.rec = o.rec
 	m.prof = o.prof
 	m.spans = o.spans
+	if o.qs != nil {
+		m.qs = o.qs
+		m.sched.SetStation(o.qs.Station(qstats.CPU))
+		m.fsb.SetStation(o.qs.Station(qstats.Bus))
+		m.disks.SetStations(o.qs.Station(qstats.Disk), o.qs.Station(qstats.Log))
+		m.qsLock = o.qs.Station(qstats.LockMgr)
+		m.qsBusy = o.qs.Station(qstats.BufferPool)
+		m.qsEngine = o.qs.Station(qstats.Engine)
+		o.qs.SetServers(qstats.CPU, cfg.Processors*m.smt)
+		o.qs.SetServers(qstats.Bus, 1)
+		o.qs.SetServers(qstats.Disk, m.disks.DataDisks())
+		o.qs.SetServers(qstats.Log, cfg.Machine.Disks.LogDisks)
+	}
 
 	// Observer hooks arm at the warm-up reset so they see exactly the
 	// measurement period. Multiple observers chain on the same hook.
@@ -188,6 +216,9 @@ func Run(ctx context.Context, cfg Config, opts ...Option) (Metrics, error) {
 		o.rec.MarkPhase(telemetry.PhaseDone, float64(m.eng.Now())/cfg.Machine.FreqHz)
 	}
 	met := m.metrics()
+	if o.qs != nil {
+		o.qs.Publish(m.qsReport())
+	}
 	if o.prof != nil {
 		o.prof.SetIdle(m.sched.IdleCyclesAt(m.eng.Now()))
 		o.prof.Finalize(met.ElapsedSeconds, met.Txns)

@@ -16,6 +16,7 @@ import (
 	"odbscale/internal/odb"
 	"odbscale/internal/osker"
 	"odbscale/internal/profile"
+	"odbscale/internal/qstats"
 	"odbscale/internal/sim"
 	"odbscale/internal/storage"
 	"odbscale/internal/telemetry"
@@ -36,6 +37,14 @@ type serverProc struct {
 
 	wake      func()        // prebound scheduler wakeup, shared by every wait site
 	blocksBuf []odb.BlockID // per-chunk visited-block scratch, reused across chunks
+
+	// Queueing-observatory block mark (nil unless WithQueueStats): the
+	// delay-center station the current block was attributed to, completed
+	// retro-dated at the next chunk start. qsBlockEnd is the simulated
+	// time the blocking chunk's own cycles end — the wait starts there,
+	// not at the block decision inside the chunk.
+	qsSt       *qstats.Station
+	qsBlockEnd sim.Time
 }
 
 // machine is one fully assembled simulation instance.
@@ -80,6 +89,19 @@ type machine struct {
 	// Span tracer (nil unless WithSpans). Purely observational, like the
 	// recorder and profiler: no randomness, no scheduling.
 	spans *txtrace.Tracer
+
+	// Queueing observatory (nil unless WithQueueStats). Purely
+	// observational like the other observers: stations accumulate inline
+	// arithmetic at existing event sites, so no randomness is drawn and
+	// no events are scheduled. qsLock/qsBusy/qsEngine cache the
+	// delay-center stations the chunk loop marks at its block sites;
+	// procs lists every admitted server process so measurement reset can
+	// clear in-flight block marks.
+	qs       *qstats.Collector
+	qsLock   *qstats.Station
+	qsBusy   *qstats.Station
+	qsEngine *qstats.Station
+	procs    []*serverProc
 
 	measuring bool
 	wantReset bool
@@ -351,6 +373,7 @@ func (m *machine) start() {
 	admit := func(id int, sp *serverProc) *osker.Proc {
 		p := &osker.Proc{ID: id, Data: sp}
 		sp.wake = func() { m.sched.Wake(p) }
+		m.procs = append(m.procs, sp)
 		m.sched.Admit(p)
 		return p
 	}
@@ -439,6 +462,17 @@ func (m *machine) runChunk(p *osker.Proc, cpuID int, budget uint64) osker.Outcom
 		// up to the scheduler's ready stamp, run-queue wait after it.
 		ts.StartChunk(m.eng.Now(), p.ReadyAt())
 	}
+	if sp.qsSt != nil {
+		// Retro-dated completion of the last block's station visit: the
+		// wait ran from the blocking chunk's end to the scheduler's ready
+		// stamp (a wake that landed inside the chunk reads as zero).
+		w := float64(p.ReadyAt() - sp.qsBlockEnd)
+		if w < 0 {
+			w = 0
+		}
+		sp.qsSt.Complete(w, 0)
+		sp.qsSt = nil
+	}
 
 	chunkCap := t.ChunkInstr
 	if budget < chunkCap {
@@ -512,6 +546,10 @@ loop:
 					if ts != nil {
 						ts.SetBlock(txtrace.KindBusyWait, 0)
 					}
+					if m.qsBusy != nil {
+						m.qsBusy.Arrive()
+						sp.qsSt = m.qsBusy
+					}
 					blocked = true
 					break loop
 				}
@@ -561,6 +599,10 @@ loop:
 				if ts != nil {
 					ts.SetBlock(txtrace.KindBusyWait, 0)
 				}
+				if m.qsEngine != nil {
+					m.qsEngine.Arrive()
+					sp.qsSt = m.qsEngine
+				}
 				blocked = true
 				break loop
 			}
@@ -574,6 +616,10 @@ loop:
 				if ts != nil {
 					ts.AddInstr(odb.PhaseLock, 2000)
 					ts.SetBlock(txtrace.KindLockWait, uint8(op.Res.Class))
+				}
+				if m.qsLock != nil {
+					m.qsLock.Arrive()
+					sp.qsSt = m.qsLock
 				}
 				blocked = true
 				break loop
@@ -619,6 +665,9 @@ loop:
 	sp.blocksBuf = blocks[:0] // price consumed the list synchronously
 	if ts != nil {
 		ts.EndChunk(m.eng.Now(), cycles, userInstr+osInstr)
+	}
+	if sp.qsSt != nil {
+		sp.qsBlockEnd = m.eng.Now() + cycles
 	}
 	return osker.Outcome{Cycles: cycles, Instr: userInstr + osInstr, Block: blocked}
 }
@@ -701,6 +750,16 @@ func (m *machine) reset() {
 	m.resetAt = m.eng.Now()
 	if m.rec != nil {
 		m.rec.MarkPhase(telemetry.PhaseMeasure, float64(m.resetAt)/m.cfg.Machine.FreqHz)
+	}
+	if m.qs != nil {
+		// Reset the stations before the scheduler: osker's ResetStats
+		// re-arrives mid-episode processes into the fresh window.
+		m.qs.ResetStations()
+		// Clear in-flight block marks so no completion lands in the
+		// measurement window without its arrival.
+		for _, sp := range m.procs {
+			sp.qsSt = nil
+		}
 	}
 	m.bc.ResetStats()
 	m.disks.ResetStats()

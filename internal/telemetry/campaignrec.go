@@ -248,3 +248,29 @@ func (cr *CampaignRecorder) WriteTimeline(w io.Writer) error {
 func (cr *CampaignRecorder) WriteProgress(w io.Writer) error {
 	return json.NewEncoder(w).Encode(cr.Progress())
 }
+
+// WriteHealth renders the campaign's health summary as JSON: run state
+// plus retained-sample counts across every point.
+func (cr *CampaignRecorder) WriteHealth(w io.Writer) error {
+	p := cr.Progress()
+	samples := 0
+	var dropped uint64
+	for _, pt := range cr.timelines() {
+		samples += len(pt.Samples)
+		dropped += pt.Dropped
+	}
+	status := "ok"
+	if p.Err != "" {
+		status = "error"
+	}
+	return json.NewEncoder(w).Encode(struct {
+		Status          string `json:"status"`
+		Done            bool   `json:"done"`
+		PointsDone      int    `json:"points_done"`
+		TotalPoints     int    `json:"total_points"`
+		ActiveRuns      int    `json:"active_runs"`
+		TimelineSamples int    `json:"timeline_samples"`
+		TimelineDropped uint64 `json:"timeline_dropped"`
+		Err             string `json:"err,omitempty"`
+	}{status, p.Done, p.PointsDone, p.TotalPoints, len(p.Active), samples, dropped, p.Err})
+}

@@ -161,6 +161,24 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 		for cpu, u := range s.CPUUtil {
 			o.printf("odb_cpu_util{cpu=\"%d\"} %g\n", cpu, u)
 		}
+		if len(s.Stations) > 0 {
+			o.header("odb_station_util", "gauge", "per-station interval utilization")
+			for _, st := range s.Stations {
+				o.printf("odb_station_util{station=%q} %g\n", st.Name, st.Util)
+			}
+			o.header("odb_station_queue_len", "gauge", "per-station time-averaged customers present")
+			for _, st := range s.Stations {
+				o.printf("odb_station_queue_len{station=%q} %g\n", st.Name, st.QueueLen)
+			}
+			o.header("odb_station_wait_ms", "gauge", "per-station mean wait per completed visit, simulated ms")
+			for _, st := range s.Stations {
+				o.printf("odb_station_wait_ms{station=%q} %g\n", st.Name, st.WaitMS)
+			}
+			o.header("odb_station_xps", "gauge", "per-station completions per simulated second")
+			for _, st := range s.Stations {
+				o.printf("odb_station_xps{station=%q} %g\n", st.Name, st.Xps)
+			}
+		}
 	}
 	hists := r.Histograms()
 	o.histogram("odb_txn_latency_us", "transaction latency in simulated microseconds", hists)
@@ -185,4 +203,38 @@ func (r *Recorder) WriteTimeline(w io.Writer) error {
 func (r *Recorder) WriteProgress(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(r.Progress())
+}
+
+// healthDump is the JSON wire form of the /healthz endpoint: run state
+// plus sample counts.
+type healthDump struct {
+	Status          string  `json:"status"`
+	Phase           string  `json:"phase,omitempty"`
+	SimSeconds      float64 `json:"sim_seconds"`
+	TotalTxns       uint64  `json:"total_txns"`
+	MeasuredTxns    uint64  `json:"measured_txns"`
+	TargetTxns      uint64  `json:"target_txns"`
+	TimelineSamples int     `json:"timeline_samples"`
+	TimelineDropped uint64  `json:"timeline_dropped"`
+	LatencySpans    uint64  `json:"latency_spans"`
+}
+
+// WriteHealth renders the run's health summary as a JSON document.
+func (r *Recorder) WriteHealth(w io.Writer) error {
+	p := r.Progress()
+	var spans uint64
+	for _, h := range r.Histograms() {
+		spans += h.Count()
+	}
+	return json.NewEncoder(w).Encode(healthDump{
+		Status:          "ok",
+		Phase:           string(p.Phase),
+		SimSeconds:      p.SimSeconds,
+		TotalTxns:       p.TotalTxns,
+		MeasuredTxns:    p.MeasuredTxns,
+		TargetTxns:      p.TargetTxns,
+		TimelineSamples: r.timeline.Len(),
+		TimelineDropped: r.TimelineDropped(),
+		LatencySpans:    spans,
+	})
 }

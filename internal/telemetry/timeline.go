@@ -31,6 +31,21 @@ type Sample struct {
 	IOInFlight int     `json:"io_in_flight"` // outstanding data-block reads
 	SpaceAmp   float64 `json:"space_amp"`    // on-disk blocks per live-data block
 	Txns       uint64  `json:"txns"`         // cumulative commits since simulation start
+
+	// Stations carries the queueing observatory's per-interval station
+	// readings; empty unless the run attached WithQueueStats.
+	Stations []StationSample `json:"stations,omitempty"`
+}
+
+// StationSample is one service center's interval reading: interval
+// utilization, time-averaged queue length, mean wait per completed
+// visit, and completion throughput.
+type StationSample struct {
+	Name     string  `json:"name"`
+	Util     float64 `json:"util"`
+	QueueLen float64 `json:"queue_len"`
+	WaitMS   float64 `json:"wait_ms"`
+	Xps      float64 `json:"xps"`
 }
 
 // Timeline is a bounded ring of samples: pushes beyond the capacity
